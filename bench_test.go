@@ -1,0 +1,204 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§V), one testing.B benchmark per artifact, plus micro-benchmarks of the
+// pipeline stages used for the ablation notes in EXPERIMENTS.md.
+//
+// Each experiment benchmark runs the same code path as `cmd/repro -exp X`
+// at a reduced scale (dataset generation is excluded from timing). Run with:
+//
+//	go test -bench=. -benchmem
+package ensemfdet_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ensemfdet"
+	"ensemfdet/internal/bipartite"
+	"ensemfdet/internal/core"
+	"ensemfdet/internal/datagen"
+	"ensemfdet/internal/density"
+	"ensemfdet/internal/experiments"
+	"ensemfdet/internal/fdet"
+	"ensemfdet/internal/fraudar"
+	"ensemfdet/internal/linalg"
+	"ensemfdet/internal/sampling"
+	"ensemfdet/internal/spectral"
+)
+
+// benchScale mirrors experiments.Quick but with a fixed seed distinct from
+// tests so cached datasets do not leak assumptions between suites.
+func benchScale() experiments.Scale {
+	s := experiments.Quick()
+	s.Seed = 99
+	return s
+}
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	env := experiments.NewEnv(benchScale())
+	// Generate datasets outside the timed region.
+	for _, id := range datagen.AllPresets() {
+		if _, err := env.Dataset(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+	runner, err := experiments.Lookup(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- one benchmark per table/figure ---
+
+func BenchmarkTable1DatasetStats(b *testing.B)    { benchExperiment(b, "table1") }
+func BenchmarkTable3TimeComparison(b *testing.B)  { benchExperiment(b, "table3") }
+func BenchmarkFig1BlockScores(b *testing.B)       { benchExperiment(b, "fig1") }
+func BenchmarkFig3MethodComparison(b *testing.B)  { benchExperiment(b, "fig3") }
+func BenchmarkFig4DetectedCurve(b *testing.B)     { benchExperiment(b, "fig4") }
+func BenchmarkFig5SamplerComparison(b *testing.B) { benchExperiment(b, "fig5") }
+func BenchmarkFig6Truncation(b *testing.B)        { benchExperiment(b, "fig6") }
+func BenchmarkFig7ImpactN(b *testing.B)           { benchExperiment(b, "fig7") }
+func BenchmarkFig8ImpactS(b *testing.B)           { benchExperiment(b, "fig8") }
+func BenchmarkFig9ImpactT(b *testing.B)           { benchExperiment(b, "fig9") }
+
+// --- micro-benchmarks of the pipeline stages ---
+
+func benchGraph(b *testing.B) *bipartite.Graph {
+	b.Helper()
+	env := experiments.NewEnv(benchScale())
+	ds, err := env.Dataset(datagen.Dataset1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds.Graph
+}
+
+// BenchmarkFDETFullGraph measures one full FDET run (peel + truncate) on
+// Dataset #1 — the unit of work FRAUDAR performs K times and the ensemble
+// performs once per (much smaller) sample.
+func BenchmarkFDETFullGraph(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fdet.Detect(g, fdet.Options{})
+	}
+}
+
+// BenchmarkPeelSingleBlock isolates one greedy peeling round.
+func BenchmarkPeelSingleBlock(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := fdet.Peel(g, density.Default()); !ok {
+			b.Fatal("no block")
+		}
+	}
+}
+
+// BenchmarkSampleRES measures one S=0.1 random-edge sample, the ensemble's
+// per-sample setup cost.
+func BenchmarkSampleRES(b *testing.B) {
+	g := benchGraph(b)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		(sampling.RandomEdge{}).Sample(g, 0.1, rng)
+	}
+}
+
+// BenchmarkSampleONSMerchant measures one merchant-side node sample, which
+// retains full columns and is therefore the heaviest sampler.
+func BenchmarkSampleONSMerchant(b *testing.B) {
+	g := benchGraph(b)
+	rng := rand.New(rand.NewSource(1))
+	m := sampling.OneSideNode{Side: bipartite.MerchantSide}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Sample(g, 0.1, rng)
+	}
+}
+
+// BenchmarkEnsembleRun measures the full Algorithm 2 parallel phase at the
+// paper's S=0.1 with a bench-scale N.
+func BenchmarkEnsembleRun(b *testing.B) {
+	g := benchGraph(b)
+	cfg := core.Config{NumSamples: 16, SampleRatio: 0.1, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(g, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFraudarK10 measures the baseline's 10-block detection on the
+// full graph for comparison with BenchmarkEnsembleRun (Table III's ratio).
+func BenchmarkFraudarK10(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fraudar.Detect(g, fraudar.Config{K: 10})
+	}
+}
+
+// BenchmarkTruncatedSVD measures the rank-25 decomposition behind the
+// spectral baselines.
+func BenchmarkTruncatedSVD(b *testing.B) {
+	g := benchGraph(b)
+	adj := spectral.Adjacency(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linalg.TruncatedSVD(adj, 25, 3, 1)
+	}
+}
+
+// BenchmarkVoteAggregation measures MVA thresholding over a realistic vote
+// vector (Definition 4).
+func BenchmarkVoteAggregation(b *testing.B) {
+	g := benchGraph(b)
+	cfg := core.Config{NumSamples: 16, SampleRatio: 0.1, Seed: 1}
+	out, err := core.Run(g, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for t := 1; t <= out.Votes.NumSamples; t++ {
+			out.Votes.CountUsersAt(t)
+		}
+	}
+}
+
+// BenchmarkPublicDetect measures the end-to-end public API path.
+func BenchmarkPublicDetect(b *testing.B) {
+	g := benchGraph(b)
+	det, err := ensemfdet.NewDetector(ensemfdet.Config{NumSamples: 16, SampleRatio: 0.1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.Detect(g, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGraphBuild measures CSR construction from an edge list — the
+// substrate cost every sampler pays per sample.
+func BenchmarkGraphBuild(b *testing.B) {
+	g := benchGraph(b)
+	edges := g.EdgeList()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bipartite.FromEdges(g.NumUsers(), g.NumMerchants(), edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

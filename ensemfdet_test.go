@@ -1,0 +1,214 @@
+package ensemfdet
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testGraph plants one dense fraud block in random background traffic.
+func testGraph(t *testing.T) (*Graph, map[uint32]bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	b := NewGraphBuilder()
+	for i := 0; i < 2000; i++ {
+		b.AddEdge(uint32(rng.Intn(800)), uint32(rng.Intn(800)))
+	}
+	fraud := make(map[uint32]bool)
+	for u := 0; u < 30; u++ {
+		id := uint32(800 + u)
+		fraud[id] = true
+		for v := 0; v < 15; v++ {
+			b.AddEdge(id, uint32(800+v))
+		}
+	}
+	return b.Build(), fraud
+}
+
+func TestDetectEndToEnd(t *testing.T) {
+	g, fraud := testGraph(t)
+	det, err := NewDetector(Config{NumSamples: 16, SampleRatio: 0.3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fraud users have degree 15 so they are present (and detected) in
+	// nearly every S=0.3 sample; a 75% vote threshold isolates them while
+	// background blobs, detected inconsistently, fall away.
+	res, err := det.Detect(g, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threshold != 12 || res.NumSamples != 16 {
+		t.Errorf("result metadata wrong: %+v", res)
+	}
+	hits := 0
+	for _, u := range res.Users {
+		if fraud[u] {
+			hits++
+		}
+	}
+	if hits < len(fraud)*8/10 {
+		t.Errorf("detected %d/%d planted fraud users (|det|=%d)", hits, len(fraud), len(res.Users))
+	}
+	if len(res.Users) > 5*len(fraud) {
+		t.Errorf("too many detections at 75%% votes: %d", len(res.Users))
+	}
+}
+
+func TestVotesReusableAcrossThresholds(t *testing.T) {
+	g, _ := testGraph(t)
+	det, err := NewDetector(Config{NumSamples: 12, SampleRatio: 0.3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	votes, err := det.Votes(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := len(votes.AcceptUsers(1))
+	for T := 2; T <= 12; T++ {
+		cur := len(votes.AcceptUsers(T))
+		if cur > prev {
+			t.Fatalf("accept set grew with T at %d", T)
+		}
+		prev = cur
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewDetector(Config{Sampler: "bogus"}); err == nil {
+		t.Error("bogus sampler accepted")
+	}
+	if _, err := NewDetector(Config{SampleRatio: 2}); err == nil {
+		t.Error("S=2 accepted")
+	}
+	for _, k := range []SamplerKind{RandomEdgeSampling, UserNodeSampling, MerchantNodeSampling, TwoSideNodeSampling} {
+		if _, err := NewDetector(Config{Sampler: k}); err != nil {
+			t.Errorf("sampler %q rejected: %v", k, err)
+		}
+	}
+}
+
+func TestRepetitionRate(t *testing.T) {
+	if got := (Config{NumSamples: 80, SampleRatio: 0.1}).RepetitionRate(); got != 8.0 {
+		t.Errorf("R = %g, want 8", got)
+	}
+	// Zero config uses the paper defaults N=80, S=0.1.
+	if got := (Config{}).RepetitionRate(); got != 8.0 {
+		t.Errorf("default R = %g, want 8", got)
+	}
+}
+
+func TestDetectBlocks(t *testing.T) {
+	g, fraud := testGraph(t)
+	blocks := DetectBlocks(g, Config{})
+	if len(blocks) == 0 {
+		t.Fatal("no blocks")
+	}
+	found := 0
+	for _, blk := range blocks {
+		for _, u := range blk.Users {
+			if fraud[u] {
+				found++
+			}
+		}
+	}
+	if found < len(fraud)/2 {
+		t.Errorf("blocks contain %d/%d planted users", found, len(fraud))
+	}
+	// FixedK mode returns exactly K blocks when available.
+	fixed := DetectBlocks(g, Config{FixedK: 3})
+	if len(fixed) != 3 {
+		t.Errorf("FixedK=3 returned %d blocks", len(fixed))
+	}
+}
+
+func TestDensityScoreMetrics(t *testing.T) {
+	g, _ := testGraph(t)
+	weighted := DensityScore(g, Config{})
+	unweighted := DensityScore(g, Config{UseAvgDegreeMetric: true})
+	if weighted <= 0 || unweighted <= 0 {
+		t.Errorf("scores must be positive: %g, %g", weighted, unweighted)
+	}
+	if weighted >= unweighted {
+		t.Errorf("column weighting must discount mass: weighted %g ≥ unweighted %g", weighted, unweighted)
+	}
+}
+
+func TestGraphIO(t *testing.T) {
+	g, _ := testGraph(t)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Errorf("round trip lost edges: %d vs %d", g2.NumEdges(), g.NumEdges())
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.tsv")
+	var fileBuf bytes.Buffer
+	if err := WriteGraph(&fileBuf, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, fileBuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g3, err := ReadGraphFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.NumEdges() != g.NumEdges() {
+		t.Error("file round trip lost edges")
+	}
+	if _, err := ReadGraphFile(filepath.Join(dir, "missing.tsv")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReadGraphRejectsGarbage(t *testing.T) {
+	if _, err := ReadGraph(strings.NewReader("not an edge list")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestNewGraphDeclaredSizes(t *testing.T) {
+	g, err := NewGraph(10, 5, []Edge{{U: 0, V: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumUsers() != 10 || g.NumMerchants() != 5 {
+		t.Errorf("sizes = (%d,%d)", g.NumUsers(), g.NumMerchants())
+	}
+	if _, err := NewGraph(1, 1, []Edge{{U: 5, V: 0}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	g, _ := testGraph(t)
+	det, _ := NewDetector(Config{NumSamples: 10, SampleRatio: 0.3, Seed: 11})
+	a, err := det.Detect(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := det.Detect(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Users) != len(b.Users) {
+		t.Fatalf("non-deterministic: %d vs %d users", len(a.Users), len(b.Users))
+	}
+	for i := range a.Users {
+		if a.Users[i] != b.Users[i] {
+			t.Fatal("non-deterministic user sets")
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Promo-campaign scenario: the workload from the paper's introduction — an
+// e-commerce platform launches a discount campaign, fraud rings register
+// account batches to farm the discounts, and the risk team needs a ranked
+// fraud list sized to its manual-review budget.
+//
+// The example generates the synthetic Table I analogue of Dataset #1,
+// runs ENSEMFDET, sweeps the vote threshold to match a review budget, and
+// scores the result against the blacklist ground truth.
+//
+//	go run ./examples/promocampaign
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ensemfdet"
+	"ensemfdet/internal/datagen"
+	"ensemfdet/internal/eval"
+)
+
+func main() {
+	// Dataset #1 at 1% of the paper's scale: ~4.5k users, ~2.3k merchants.
+	ds, err := datagen.GeneratePreset(datagen.Dataset1, 0.01, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := ds.Stats()
+	fmt.Printf("%s: %d users (%d blacklisted), %d merchants, %d edges\n",
+		st.Name, st.Users, st.FraudPINs, st.Merchants, st.Edges)
+
+	det, err := ensemfdet.NewDetector(ensemfdet.Config{
+		NumSamples:  40,
+		SampleRatio: 0.1,
+		Seed:        7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	votes, err := det.Votes(ds.Graph)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The risk team can review ~300 accounts per day. Walk the threshold
+	// down until the detection set fits the budget — the continuous control
+	// FRAUDAR's block outputs cannot give (paper §V-C1).
+	const reviewBudget = 300
+	chosen := votes.NumSamples
+	for t := votes.NumSamples; t >= 1; t-- {
+		if votes.CountUsersAt(t) > reviewBudget {
+			break
+		}
+		chosen = t
+	}
+	detected := votes.AcceptUsers(chosen)
+	fmt.Printf("budget %d reviews -> threshold T=%d flags %d accounts\n",
+		reviewBudget, chosen, len(detected))
+
+	m := eval.Evaluate(ds.Labels, detected)
+	fmt.Printf("against the blacklist: %v\n", m)
+
+	// How many of the flags are in planted rings (vs blacklist noise)?
+	planted := make(map[uint32]bool)
+	for _, u := range ds.TrueFraudUsers {
+		planted[u] = true
+	}
+	inRings := 0
+	for _, u := range detected {
+		if planted[u] {
+			inRings++
+		}
+	}
+	fmt.Printf("%d/%d flagged accounts belong to planted fraud rings\n", inRings, len(detected))
+}

@@ -1,0 +1,64 @@
+// Sampler study: reproduce the reasoning of paper §IV-A and Figure 5 on a
+// single dataset — which side of a bipartite graph should one-side node
+// sampling draw, and how do the four structural samplers compare?
+//
+//	go run ./examples/samplerstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ensemfdet"
+	"ensemfdet/internal/bipartite"
+	"ensemfdet/internal/datagen"
+	"ensemfdet/internal/eval"
+)
+
+func main() {
+	ds, err := datagen.GeneratePreset(datagen.Dataset3, 0.004, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := ds.Graph
+	fmt.Printf("%s at 0.4%% scale: %d users, %d merchants, %d edges\n",
+		ds.Name, g.NumUsers(), g.NumMerchants(), g.NumEdges())
+
+	// The paper's §IV-A3 side-selection rule: sample the side with the
+	// higher average degree to retain dense topology.
+	du := g.AvgDegree(bipartite.UserSide)
+	dv := g.AvgDegree(bipartite.MerchantSide)
+	fmt.Printf("Davg(PIN)=%.2f  Davg(Merchant)=%.2f -> ONS should sample the %s side\n",
+		du, dv, map[bool]string{true: "merchant", false: "user"}[dv > du])
+
+	for _, kind := range []ensemfdet.SamplerKind{
+		ensemfdet.RandomEdgeSampling,
+		ensemfdet.MerchantNodeSampling,
+		ensemfdet.UserNodeSampling,
+		ensemfdet.TwoSideNodeSampling,
+	} {
+		det, err := ensemfdet.NewDetector(ensemfdet.Config{
+			Sampler:     kind,
+			NumSamples:  32,
+			SampleRatio: 0.1,
+			Seed:        7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		votes, err := det.Votes(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Evaluate the full vote sweep and report the best F1 point.
+		var best eval.Metrics
+		for t := 1; t <= votes.NumSamples; t++ {
+			m := eval.Evaluate(ds.Labels, votes.AcceptUsers(t))
+			if m.F1 > best.F1 {
+				best = m
+			}
+		}
+		fmt.Printf("%-14s best F1 %.3f (P=%.3f R=%.3f at %d detected)\n",
+			kind, best.F1, best.Precision, best.Recall, best.Detected)
+	}
+}

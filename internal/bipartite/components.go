@@ -1,0 +1,92 @@
+package bipartite
+
+// ComponentLabels holds the connected-component decomposition of a bipartite
+// graph. Users and merchants carry separate label slices; two nodes share a
+// label iff they are connected. Labels are dense in [0, Count).
+type ComponentLabels struct {
+	User     []int32
+	Merchant []int32
+	Count    int
+	// Sizes[c] is the number of nodes (both sides) in component c.
+	Sizes []int
+}
+
+// ConnectedComponents labels the connected components of g with an iterative
+// BFS. Isolated nodes each form their own singleton component.
+func ConnectedComponents(g *Graph) *ComponentLabels {
+	const unvisited = int32(-1)
+	cl := &ComponentLabels{
+		User:     make([]int32, g.NumUsers()),
+		Merchant: make([]int32, g.NumMerchants()),
+	}
+	for i := range cl.User {
+		cl.User[i] = unvisited
+	}
+	for i := range cl.Merchant {
+		cl.Merchant[i] = unvisited
+	}
+
+	// frontier entries encode side in the sign-free way: (side, id).
+	type node struct {
+		side Side
+		id   uint32
+	}
+	var queue []node
+	next := int32(0)
+	bfs := func(start node) int {
+		size := 0
+		queue = append(queue[:0], start)
+		for len(queue) > 0 {
+			n := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			size++
+			if n.side == UserSide {
+				for _, v := range g.UserNeighbors(n.id) {
+					if cl.Merchant[v] == unvisited {
+						cl.Merchant[v] = next
+						queue = append(queue, node{MerchantSide, v})
+					}
+				}
+			} else {
+				for _, u := range g.MerchantNeighbors(n.id) {
+					if cl.User[u] == unvisited {
+						cl.User[u] = next
+						queue = append(queue, node{UserSide, u})
+					}
+				}
+			}
+		}
+		return size
+	}
+
+	for u := 0; u < g.NumUsers(); u++ {
+		if cl.User[u] != unvisited {
+			continue
+		}
+		cl.User[u] = next
+		cl.Sizes = append(cl.Sizes, bfs(node{UserSide, uint32(u)}))
+		next++
+	}
+	for v := 0; v < g.NumMerchants(); v++ {
+		if cl.Merchant[v] != unvisited {
+			continue
+		}
+		cl.Merchant[v] = next
+		cl.Sizes = append(cl.Sizes, bfs(node{MerchantSide, uint32(v)}))
+		next++
+	}
+	cl.Count = int(next)
+	return cl
+}
+
+// LargestComponent returns the label of the largest component and its size.
+// It returns (-1, 0) for an empty graph.
+func (cl *ComponentLabels) LargestComponent() (label int32, size int) {
+	label = -1
+	for c, s := range cl.Sizes {
+		if s > size {
+			label, size = int32(c), s
+		}
+	}
+	return label, size
+}

@@ -1,0 +1,81 @@
+package bipartite
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConnectedComponentsTwoBlocks(t *testing.T) {
+	// Two disjoint 2x2 blocks plus an isolated user.
+	g, err := FromEdges(5, 4, []Edge{
+		{U: 0, V: 0}, {U: 0, V: 1}, {U: 1, V: 0}, {U: 1, V: 1},
+		{U: 2, V: 2}, {U: 2, V: 3}, {U: 3, V: 2}, {U: 3, V: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := ConnectedComponents(g)
+	if cl.Count != 3 {
+		t.Fatalf("Count = %d, want 3 (two blocks + isolated u4)", cl.Count)
+	}
+	if cl.User[0] != cl.User[1] || cl.User[0] != cl.Merchant[0] {
+		t.Error("block 1 not connected")
+	}
+	if cl.User[2] != cl.User[3] || cl.User[2] != cl.Merchant[2] {
+		t.Error("block 2 not connected")
+	}
+	if cl.User[0] == cl.User[2] {
+		t.Error("blocks merged")
+	}
+	label, size := cl.LargestComponent()
+	if size != 4 {
+		t.Errorf("largest size = %d, want 4", size)
+	}
+	if label != cl.User[0] && label != cl.User[2] {
+		t.Errorf("largest label %d is not a block label", label)
+	}
+}
+
+func TestConnectedComponentsEmpty(t *testing.T) {
+	cl := ConnectedComponents(NewBuilder().Build())
+	if cl.Count != 0 {
+		t.Errorf("Count = %d, want 0", cl.Count)
+	}
+	if label, size := cl.LargestComponent(); label != -1 || size != 0 {
+		t.Errorf("LargestComponent = (%d,%d), want (-1,0)", label, size)
+	}
+}
+
+func TestPropertyComponentSizesSum(t *testing.T) {
+	// Component sizes must partition all nodes, and endpoints of every edge
+	// must share a component.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nu, nm := 1+rng.Intn(30), 1+rng.Intn(30)
+		g, err := FromEdges(nu, nm, randomEdges(rng, nu, nm, rng.Intn(100)))
+		if err != nil {
+			return false
+		}
+		cl := ConnectedComponents(g)
+		total := 0
+		for _, s := range cl.Sizes {
+			total += s
+		}
+		if total != g.NumNodes() {
+			return false
+		}
+		ok := true
+		g.Edges(func(e Edge) bool {
+			if cl.User[e.U] != cl.Merchant[e.V] {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+package bipartite
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	in := `# who buy-from where
+0	0
+0 1
+
+1	1
+# trailing comment
+2 1
+2	2
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	want := smallGraph(t)
+	if !reflect.DeepEqual(g.EdgeList(), want.EdgeList()) {
+		t.Errorf("edges = %v, want %v", g.EdgeList(), want.EdgeList())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",                       // one field
+		"a\t1\n",                    // bad user
+		"1\tb\n",                    // bad merchant
+		"-1\t0\n",                   // negative
+		"99999999999999999999\t0\n", // overflow
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadEdgeList(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	g := smallGraph(t)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatalf("WriteEdgeList: %v", err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if !reflect.DeepEqual(g.EdgeList(), g2.EdgeList()) {
+		t.Errorf("round trip changed edges")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, err := FromEdges(30, 40, randomEdges(rng, 30, 40, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if g2.NumUsers() != g.NumUsers() || g2.NumMerchants() != g.NumMerchants() {
+		t.Fatalf("sizes differ: got (%d,%d), want (%d,%d)",
+			g2.NumUsers(), g2.NumMerchants(), g.NumUsers(), g.NumMerchants())
+	}
+	if !reflect.DeepEqual(g.EdgeList(), g2.EdgeList()) {
+		t.Errorf("binary round trip changed edges")
+	}
+}
+
+func TestBinaryPreservesIsolatedNodes(t *testing.T) {
+	g, err := FromEdges(10, 10, []Edge{{U: 0, V: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumUsers() != 10 || g2.NumMerchants() != 10 {
+		t.Errorf("isolated nodes lost: (%d,%d)", g2.NumUsers(), g2.NumMerchants())
+	}
+}
+
+func TestReadBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader(make([]byte, 32))); err == nil {
+		t.Error("ReadBinary accepted zeroed header")
+	}
+}
+
+func TestReadBinaryTruncated(t *testing.T) {
+	g := smallGraph(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Error("ReadBinary accepted truncated payload")
+	}
+}

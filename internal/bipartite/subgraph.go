@@ -1,0 +1,159 @@
+package bipartite
+
+// Subgraph is a Graph extracted from a parent graph together with the maps
+// from its dense local ids back to the parent's ids. Samplers produce
+// Subgraphs; the ensemble layer uses the id maps to cast votes in the parent
+// id space (paper Alg. 2 lines 5-7).
+type Subgraph struct {
+	*Graph
+	// UserIDs[localUser] is the parent user id of local user node localUser.
+	UserIDs []uint32
+	// MerchantIDs[localMerchant] is the parent merchant id of local merchant
+	// node localMerchant.
+	MerchantIDs []uint32
+}
+
+// ParentUser maps a local user id to the parent user id.
+func (s *Subgraph) ParentUser(u uint32) uint32 { return s.UserIDs[u] }
+
+// ParentMerchant maps a local merchant id to the parent merchant id.
+func (s *Subgraph) ParentMerchant(v uint32) uint32 { return s.MerchantIDs[v] }
+
+// idRemapper assigns dense local ids to a sparse subset of a parent id space
+// in first-seen order. It is slice-backed (parent side sizes are known and
+// modest) because the ensemble builds thousands of subgraphs per run and map
+// overhead dominated profiles.
+type idRemapper struct {
+	local []int32 // parent id -> local id, -1 when unassigned
+	ids   []uint32
+}
+
+const unassigned = int32(-1)
+
+func newIDRemapper(parentSize int) *idRemapper {
+	r := &idRemapper{local: make([]int32, parentSize)}
+	for i := range r.local {
+		r.local[i] = unassigned
+	}
+	return r
+}
+
+func (r *idRemapper) get(parent uint32) uint32 {
+	if l := r.local[parent]; l != unassigned {
+		return uint32(l)
+	}
+	l := int32(len(r.ids))
+	r.local[parent] = l
+	r.ids = append(r.ids, parent)
+	return uint32(l)
+}
+
+func (r *idRemapper) seen(parent uint32) bool { return r.local[parent] != unassigned }
+
+// InducedByEdges builds the subgraph made of exactly the given parent edges:
+// both endpoints of every edge are included and no extra edges are added
+// (paper §IV-A1, edge sampling semantics). Duplicate edges are merged.
+func (g *Graph) InducedByEdges(edges []Edge) *Subgraph {
+	users := newIDRemapper(g.NumUsers())
+	merchants := newIDRemapper(g.NumMerchants())
+	local := make([]Edge, len(edges))
+	for i, e := range edges {
+		local[i] = Edge{U: users.get(e.U), V: merchants.get(e.V)}
+	}
+	return &Subgraph{
+		Graph:       buildFromEdges(len(users.ids), len(merchants.ids), local),
+		UserIDs:     users.ids,
+		MerchantIDs: merchants.ids,
+	}
+}
+
+// InducedByUsers builds the subgraph on the selected user rows of the
+// adjacency matrix W: the selected users keep *all* their edges, and exactly
+// the merchants touched by those edges appear (paper §IV-A3, one-side node
+// sampling of U). Duplicate user ids are ignored.
+func (g *Graph) InducedByUsers(userIDs []uint32) *Subgraph {
+	users := newIDRemapper(g.NumUsers())
+	merchants := newIDRemapper(g.NumMerchants())
+	var local []Edge
+	for _, pu := range userIDs {
+		if users.seen(pu) {
+			continue
+		}
+		lu := users.get(pu)
+		for _, pv := range g.UserNeighbors(pu) {
+			local = append(local, Edge{U: lu, V: merchants.get(pv)})
+		}
+	}
+	return &Subgraph{
+		Graph:       buildFromEdges(len(users.ids), len(merchants.ids), local),
+		UserIDs:     users.ids,
+		MerchantIDs: merchants.ids,
+	}
+}
+
+// InducedByMerchants is the merchant-side analogue of InducedByUsers
+// (one-side node sampling of V).
+func (g *Graph) InducedByMerchants(merchantIDs []uint32) *Subgraph {
+	users := newIDRemapper(g.NumUsers())
+	merchants := newIDRemapper(g.NumMerchants())
+	var local []Edge
+	for _, pv := range merchantIDs {
+		if merchants.seen(pv) {
+			continue
+		}
+		lv := merchants.get(pv)
+		for _, pu := range g.MerchantNeighbors(pv) {
+			local = append(local, Edge{U: users.get(pu), V: lv})
+		}
+	}
+	return &Subgraph{
+		Graph:       buildFromEdges(len(users.ids), len(merchants.ids), local),
+		UserIDs:     users.ids,
+		MerchantIDs: merchants.ids,
+	}
+}
+
+// InducedByBoth builds the cross-section subgraph of the selected rows and
+// columns of W: an edge survives iff both its endpoints were selected (paper
+// §IV-A4, two-side node sampling). Nodes left isolated by the cross-section
+// are dropped so the subgraph stays dense in ids.
+func (g *Graph) InducedByBoth(userIDs, merchantIDs []uint32) *Subgraph {
+	keepMerchant := make([]bool, g.NumMerchants())
+	for _, v := range merchantIDs {
+		keepMerchant[v] = true
+	}
+	users := newIDRemapper(g.NumUsers())
+	merchants := newIDRemapper(g.NumMerchants())
+	var local []Edge
+	seenUser := make([]bool, g.NumUsers())
+	for _, pu := range userIDs {
+		if seenUser[pu] {
+			continue
+		}
+		seenUser[pu] = true
+		for _, pv := range g.UserNeighbors(pu) {
+			if keepMerchant[pv] {
+				local = append(local, Edge{U: users.get(pu), V: merchants.get(pv)})
+			}
+		}
+	}
+	return &Subgraph{
+		Graph:       buildFromEdges(len(users.ids), len(merchants.ids), local),
+		UserIDs:     users.ids,
+		MerchantIDs: merchants.ids,
+	}
+}
+
+// Whole wraps g as a Subgraph whose id maps are the identity. It lets callers
+// run subgraph-oriented pipelines (FDET, voting) directly on the full graph.
+func (g *Graph) Whole() *Subgraph {
+	uids := make([]uint32, g.NumUsers())
+	for i := range uids {
+		uids[i] = uint32(i)
+	}
+	mids := make([]uint32, g.NumMerchants())
+	for i := range mids {
+		mids[i] = uint32(i)
+	}
+	return &Subgraph{Graph: g, UserIDs: uids, MerchantIDs: mids}
+}

@@ -1,0 +1,188 @@
+package bipartite
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInducedByEdges(t *testing.T) {
+	g := smallGraph(t)
+	sg := g.InducedByEdges([]Edge{{U: 0, V: 1}, {U: 2, V: 1}})
+	if sg.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", sg.NumEdges())
+	}
+	if sg.NumUsers() != 2 || sg.NumMerchants() != 1 {
+		t.Fatalf("sizes = (%d,%d), want (2,1)", sg.NumUsers(), sg.NumMerchants())
+	}
+	// Every local edge must map to a parent edge.
+	sg.Edges(func(e Edge) bool {
+		pu, pv := sg.ParentUser(e.U), sg.ParentMerchant(e.V)
+		if !g.HasEdge(pu, pv) {
+			t.Errorf("local edge %v maps to non-edge (%d,%d)", e, pu, pv)
+		}
+		return true
+	})
+}
+
+func TestInducedByEdgesNoExtraEdges(t *testing.T) {
+	// Edge sampling must not add edges beyond those sampled, even when both
+	// endpoints of an unsampled parent edge are present.
+	g := smallGraph(t)
+	// u0-v0 and u0-v1 exist; sample only u0-v0 plus u1-v1 so that v1 and u0
+	// are both present but u0-v1 is not sampled.
+	sg := g.InducedByEdges([]Edge{{U: 0, V: 0}, {U: 1, V: 1}})
+	if sg.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want exactly the 2 sampled edges", sg.NumEdges())
+	}
+}
+
+func TestInducedByUsersKeepsAllIncidentEdges(t *testing.T) {
+	g := smallGraph(t)
+	sg := g.InducedByUsers([]uint32{0, 2})
+	if sg.NumEdges() != 4 { // u0: 2 edges, u2: 2 edges
+		t.Fatalf("NumEdges = %d, want 4", sg.NumEdges())
+	}
+	if sg.NumUsers() != 2 {
+		t.Fatalf("NumUsers = %d, want 2", sg.NumUsers())
+	}
+	if sg.NumMerchants() != 3 { // v0, v1, v2 all touched
+		t.Fatalf("NumMerchants = %d, want 3", sg.NumMerchants())
+	}
+}
+
+func TestInducedByMerchants(t *testing.T) {
+	g := smallGraph(t)
+	sg := g.InducedByMerchants([]uint32{1})
+	if sg.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", sg.NumEdges())
+	}
+	if sg.NumUsers() != 3 || sg.NumMerchants() != 1 {
+		t.Fatalf("sizes = (%d,%d), want (3,1)", sg.NumUsers(), sg.NumMerchants())
+	}
+}
+
+func TestInducedByBothCrossSection(t *testing.T) {
+	g := smallGraph(t)
+	sg := g.InducedByBoth([]uint32{0, 1}, []uint32{1})
+	// Surviving edges: u0-v1, u1-v1.
+	if sg.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", sg.NumEdges())
+	}
+}
+
+func TestInducedDuplicateInputsIgnored(t *testing.T) {
+	g := smallGraph(t)
+	a := g.InducedByUsers([]uint32{0, 0, 2, 2, 2})
+	b := g.InducedByUsers([]uint32{0, 2})
+	if a.NumEdges() != b.NumEdges() || a.NumUsers() != b.NumUsers() {
+		t.Errorf("duplicate ids changed result: %v vs %v", a.Graph, b.Graph)
+	}
+}
+
+func TestWholeIdentity(t *testing.T) {
+	g := smallGraph(t)
+	sg := g.Whole()
+	if sg.NumEdges() != g.NumEdges() {
+		t.Fatalf("Whole changed edge count")
+	}
+	for u := 0; u < g.NumUsers(); u++ {
+		if sg.ParentUser(uint32(u)) != uint32(u) {
+			t.Errorf("ParentUser(%d) != %d", u, u)
+		}
+	}
+	for v := 0; v < g.NumMerchants(); v++ {
+		if sg.ParentMerchant(uint32(v)) != uint32(v) {
+			t.Errorf("ParentMerchant(%d) != %d", v, v)
+		}
+	}
+}
+
+func TestPropertySubgraphEdgesMapToParent(t *testing.T) {
+	// Every edge of any induced subgraph corresponds to an edge of the
+	// parent under the id maps, for all three samplers' primitives.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nu, nm := 2+rng.Intn(30), 2+rng.Intn(30)
+		g, err := FromEdges(nu, nm, randomEdges(rng, nu, nm, 20+rng.Intn(200)))
+		if err != nil {
+			return false
+		}
+		// random user and merchant selections
+		var users, merchants []uint32
+		for u := 0; u < nu; u++ {
+			if rng.Intn(2) == 0 {
+				users = append(users, uint32(u))
+			}
+		}
+		for v := 0; v < nm; v++ {
+			if rng.Intn(2) == 0 {
+				merchants = append(merchants, uint32(v))
+			}
+		}
+		subs := []*Subgraph{
+			g.InducedByUsers(users),
+			g.InducedByMerchants(merchants),
+			g.InducedByBoth(users, merchants),
+		}
+		for _, sg := range subs {
+			if sg.Validate() != nil {
+				return false
+			}
+			ok := true
+			sg.Edges(func(e Edge) bool {
+				if !g.HasEdge(sg.ParentUser(e.U), sg.ParentMerchant(e.V)) {
+					ok = false
+					return false
+				}
+				return true
+			})
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCrossSectionEdgeCount(t *testing.T) {
+	// |E(cross-section)| equals the number of parent edges with both
+	// endpoints selected.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nu, nm := 2+rng.Intn(20), 2+rng.Intn(20)
+		g, err := FromEdges(nu, nm, randomEdges(rng, nu, nm, rng.Intn(150)))
+		if err != nil {
+			return false
+		}
+		keepU := make(map[uint32]bool)
+		keepV := make(map[uint32]bool)
+		var users, merchants []uint32
+		for u := 0; u < nu; u++ {
+			if rng.Intn(2) == 0 {
+				users = append(users, uint32(u))
+				keepU[uint32(u)] = true
+			}
+		}
+		for v := 0; v < nm; v++ {
+			if rng.Intn(2) == 0 {
+				merchants = append(merchants, uint32(v))
+				keepV[uint32(v)] = true
+			}
+		}
+		want := 0
+		g.Edges(func(e Edge) bool {
+			if keepU[e.U] && keepV[e.V] {
+				want++
+			}
+			return true
+		})
+		return g.InducedByBoth(users, merchants).NumEdges() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

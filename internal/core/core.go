@@ -1,0 +1,300 @@
+// Package core implements ENSEMFDET, the paper's primary contribution
+// (§IV-C, Algorithm 2): an ensemble that oversamples a bipartite graph N
+// times, runs the FDET heuristic on every sampled subgraph in parallel,
+// accumulates per-node votes in the original id space, and accepts nodes by
+// majority voting against a threshold T (Definition 4).
+//
+// The vote threshold is what gives ENSEMFDET its practicability edge over
+// plain FRAUDAR: sweeping T yields a near-continuous family of detection
+// sets (the smooth curves of Figures 3-9) instead of a few discrete block
+// unions.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"ensemfdet/internal/bipartite"
+	"ensemfdet/internal/density"
+	"ensemfdet/internal/fdet"
+	"ensemfdet/internal/sampling"
+)
+
+// Config carries the ensemble parameters of the paper's Table II.
+type Config struct {
+	// Method is the structural sampler M; nil means RES.
+	Method sampling.Method
+	// NumSamples is N, the number of sampled graphs; 0 means DefaultN.
+	NumSamples int
+	// SampleRatio is S ∈ (0, 1]; 0 means DefaultS.
+	SampleRatio float64
+	// Parallelism bounds the worker pool; 0 means GOMAXPROCS.
+	Parallelism int
+	// Seed makes the whole ensemble deterministic. Sample i draws from an
+	// rng seeded with Seed and i only.
+	Seed int64
+	// FDet configures the per-subgraph detector.
+	FDet fdet.Options
+	// CollectScores retains every sample's per-block score curve in the
+	// output (Figure 1); costs O(N·kˆ) memory.
+	CollectScores bool
+}
+
+// Defaults for the paper's main experimental setting (§V-C1).
+const (
+	DefaultN = 80
+	DefaultS = 0.1
+)
+
+// RepetitionRate returns R = S × N, the expected number of times each edge
+// (under RES) is covered by the ensemble (Table II).
+func (c Config) RepetitionRate() float64 {
+	return c.sampleRatio() * float64(c.numSamples())
+}
+
+func (c Config) method() sampling.Method {
+	if c.Method == nil {
+		return sampling.RandomEdge{}
+	}
+	return c.Method
+}
+
+func (c Config) numSamples() int {
+	if c.NumSamples <= 0 {
+		return DefaultN
+	}
+	return c.NumSamples
+}
+
+func (c Config) sampleRatio() float64 {
+	if c.SampleRatio <= 0 {
+		return DefaultS
+	}
+	return c.SampleRatio
+}
+
+func (c Config) parallelism() int {
+	if c.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Parallelism
+}
+
+func (c Config) validate() error {
+	if c.SampleRatio < 0 || c.SampleRatio > 1 {
+		return fmt.Errorf("core: sample ratio S must be in (0,1], got %g", c.SampleRatio)
+	}
+	if c.NumSamples < 0 {
+		return fmt.Errorf("core: number of samples N must be positive, got %d", c.NumSamples)
+	}
+	return nil
+}
+
+// Votes holds per-node vote counts in the parent graph's id space: node x
+// received Votes[x] votes, one per sampled graph whose FDET output contained
+// it (h_i(x) in Definition 4).
+type Votes struct {
+	User       []int
+	Merchant   []int
+	NumSamples int
+}
+
+// AcceptUsers returns the user ids with at least T votes, ascending.
+func (v *Votes) AcceptUsers(t int) []uint32 { return acceptIDs(v.User, t) }
+
+// AcceptMerchants returns the merchant ids with at least T votes, ascending.
+func (v *Votes) AcceptMerchants(t int) []uint32 { return acceptIDs(v.Merchant, t) }
+
+func acceptIDs(votes []int, t int) []uint32 {
+	if t < 1 {
+		t = 1
+	}
+	var out []uint32
+	for id, n := range votes {
+		if n >= t {
+			out = append(out, uint32(id))
+		}
+	}
+	return out
+}
+
+// CountUsersAt returns |{u : votes(u) ≥ T}| without materializing the set.
+func (v *Votes) CountUsersAt(t int) int {
+	if t < 1 {
+		t = 1
+	}
+	n := 0
+	for _, c := range v.User {
+		if c >= t {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxUserVotes returns the highest vote count any user received.
+func (v *Votes) MaxUserVotes() int {
+	m := 0
+	for _, c := range v.User {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// UserThresholds returns the sorted distinct positive vote counts present
+// among users; sweeping exactly these thresholds visits every distinct
+// detection set.
+func (v *Votes) UserThresholds() []int {
+	seen := make(map[int]bool)
+	for _, c := range v.User {
+		if c > 0 {
+			seen[c] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Output is the result of Run.
+type Output struct {
+	Votes Votes
+	// BlockScores[i] is sample i's per-block φ curve (only when
+	// Config.CollectScores is set).
+	BlockScores [][]float64
+	// KHats[i] is sample i's truncation point kˆ.
+	KHats []int
+	// SampleWork[i] is the serial CPU-side duration of sample i
+	// (sampling + FDET). The sum is the serial cost of the parallel phase;
+	// dividing by the worker count models wall time at other parallelism
+	// levels (Table III's projection).
+	SampleWork []time.Duration
+}
+
+// TotalWork returns the summed serial duration of all samples.
+func (o *Output) TotalWork() time.Duration {
+	var total time.Duration
+	for _, w := range o.SampleWork {
+		total += w
+	}
+	return total
+}
+
+// Run executes the parallel phase of Algorithm 2 and returns the aggregated
+// votes. It is deterministic for a fixed Config (including Seed) regardless
+// of Parallelism.
+func Run(g *bipartite.Graph, cfg Config) (*Output, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.numSamples()
+	method := cfg.method()
+	ratio := cfg.sampleRatio()
+
+	// Freeze the density metric's merchant weights on the parent graph so
+	// every sample judges merchants by their global popularity (camouflage
+	// resistance per Definition 2), not by their deflated in-sample degree.
+	metric := cfg.FDet.Metric
+	if metric == nil {
+		metric = density.Default()
+	}
+	parentWeights := cfg.FDet.MerchantWeights
+	if parentWeights == nil {
+		parentWeights = metric.MerchantWeights(g)
+	}
+
+	type sampleResult struct {
+		users     []uint32
+		merchants []uint32
+		scores    []float64
+		kHat      int
+		work      time.Duration
+	}
+	results := make([]sampleResult, n)
+
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	workers := cfg.parallelism()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				start := time.Now()
+				// Each sample gets its own rng derived from (Seed, i) so
+				// results do not depend on goroutine scheduling.
+				rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)*2_654_435_761 + 1))
+				sg := method.Sample(g, ratio, rng)
+				opts := cfg.FDet
+				opts.MerchantWeights = make([]float64, sg.NumMerchants())
+				for lv := range opts.MerchantWeights {
+					opts.MerchantWeights[lv] = parentWeights[sg.ParentMerchant(uint32(lv))]
+				}
+				res := fdet.Detect(sg.Graph, opts)
+				r := sampleResult{kHat: res.TruncatedAt}
+				for _, lu := range res.DetectedUsers() {
+					r.users = append(r.users, sg.ParentUser(lu))
+				}
+				for _, lv := range res.DetectedMerchants() {
+					r.merchants = append(r.merchants, sg.ParentMerchant(lv))
+				}
+				if cfg.CollectScores {
+					r.scores = res.Scores
+				}
+				r.work = time.Since(start)
+				results[i] = r
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	out := &Output{
+		Votes: Votes{
+			User:       make([]int, g.NumUsers()),
+			Merchant:   make([]int, g.NumMerchants()),
+			NumSamples: n,
+		},
+		KHats:      make([]int, n),
+		SampleWork: make([]time.Duration, n),
+	}
+	if cfg.CollectScores {
+		out.BlockScores = make([][]float64, n)
+	}
+	for i, r := range results {
+		for _, u := range r.users {
+			out.Votes.User[u]++
+		}
+		for _, v := range r.merchants {
+			out.Votes.Merchant[v]++
+		}
+		out.KHats[i] = r.kHat
+		out.SampleWork[i] = r.work
+		if cfg.CollectScores {
+			out.BlockScores[i] = r.scores
+		}
+	}
+	return out, nil
+}
+
+// Detect runs the full Algorithm 2 pipeline and applies MVA at threshold T,
+// returning the final fraud sets (U_final, V_final).
+func Detect(g *bipartite.Graph, cfg Config, t int) (users, merchants []uint32, err error) {
+	out, err := Run(g, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out.Votes.AcceptUsers(t), out.Votes.AcceptMerchants(t), nil
+}

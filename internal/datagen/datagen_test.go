@@ -1,0 +1,221 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"ensemfdet/internal/bipartite"
+)
+
+func smallConfig() Config {
+	return Config{
+		Name:                "test",
+		Seed:                1,
+		BackgroundUsers:     2000,
+		BackgroundMerchants: 1000,
+		BackgroundEdges:     5000,
+		Groups: []GroupSpec{
+			{Users: 40, Merchants: 12, Density: 0.5, CamouflagePerUser: 1},
+			{Users: 25, Merchants: 10, Density: 0.6},
+		},
+		MissingLabelRate: 0.2,
+		FalseLabelRate:   0.25,
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Graph.NumUsers() != 2000+65 {
+		t.Errorf("users = %d, want 2065", ds.Graph.NumUsers())
+	}
+	if ds.Graph.NumMerchants() != 1000+22 {
+		t.Errorf("merchants = %d, want 1022", ds.Graph.NumMerchants())
+	}
+	if len(ds.TrueFraudUsers) != 65 {
+		t.Errorf("planted fraud = %d, want 65", len(ds.TrueFraudUsers))
+	}
+	if len(ds.FraudGroups) != 2 {
+		t.Errorf("groups = %d, want 2", len(ds.FraudGroups))
+	}
+	if err := ds.Graph.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Error("edge counts differ across identical configs")
+	}
+	if a.Labels.NumFraud != b.Labels.NumFraud {
+		t.Error("blacklists differ across identical configs")
+	}
+}
+
+func TestGenerateFraudBlocksAreDense(t *testing.T) {
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each planted group's users should have degree ≈ density·merchants +
+	// camouflage, far above the background average.
+	bgAvg := float64(5000) / 2000
+	for gi, group := range ds.FraudGroups {
+		avg := 0.0
+		for _, u := range group {
+			avg += float64(ds.Graph.UserDegree(u))
+		}
+		avg /= float64(len(group))
+		if avg < 2*bgAvg {
+			t.Errorf("group %d avg degree %.1f not ≫ background %.1f", gi, avg, bgAvg)
+		}
+	}
+}
+
+func TestGenerateBlacklistNoise(t *testing.T) {
+	cfg := smallConfig()
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planted := make(map[uint32]bool)
+	for _, u := range ds.TrueFraudUsers {
+		planted[u] = true
+	}
+	listedPlanted, listedHonest := 0, 0
+	for u := 0; u < ds.Graph.NumUsers(); u++ {
+		if !ds.Labels.Fraud[u] {
+			continue
+		}
+		if planted[uint32(u)] {
+			listedPlanted++
+		} else {
+			listedHonest++
+		}
+	}
+	if listedPlanted == len(ds.TrueFraudUsers) {
+		t.Error("no missing labels despite MissingLabelRate > 0")
+	}
+	if listedPlanted < len(ds.TrueFraudUsers)/2 {
+		t.Errorf("too many missing labels: %d/%d listed", listedPlanted, len(ds.TrueFraudUsers))
+	}
+	if listedHonest == 0 {
+		t.Error("no false labels despite FalseLabelRate > 0")
+	}
+}
+
+func TestGenerateMerchantSkew(t *testing.T) {
+	// Zipf popularity: the busiest merchant must dwarf the median one, and
+	// Davg(merchant) > Davg(user) as §V-C2 assumes.
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Graph
+	if g.MaxDegree(bipartite.MerchantSide) < 10*g.DegreeQuantile(bipartite.MerchantSide, 0.5) {
+		t.Errorf("merchant popularity not heavy-tailed: max=%d median=%d",
+			g.MaxDegree(bipartite.MerchantSide), g.DegreeQuantile(bipartite.MerchantSide, 0.5))
+	}
+	if g.AvgDegree(bipartite.MerchantSide) <= g.AvgDegree(bipartite.UserSide) {
+		t.Errorf("Davg(merchant)=%.2f not above Davg(user)=%.2f",
+			g.AvgDegree(bipartite.MerchantSide), g.AvgDegree(bipartite.UserSide))
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Config{
+		{BackgroundUsers: 0, BackgroundMerchants: 10},
+		{BackgroundUsers: 10, BackgroundMerchants: 0},
+		{BackgroundUsers: 10, BackgroundMerchants: 10, Groups: []GroupSpec{{Users: 0, Merchants: 1, Density: 0.5}}},
+		{BackgroundUsers: 10, BackgroundMerchants: 10, Groups: []GroupSpec{{Users: 1, Merchants: 1, Density: 0}}},
+		{BackgroundUsers: 10, BackgroundMerchants: 10, Groups: []GroupSpec{{Users: 1, Merchants: 1, Density: 1.5}}},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestPresetStatsNearTableI(t *testing.T) {
+	const scale = 0.01
+	for _, id := range AllPresets() {
+		ds, err := GeneratePreset(id, scale, 7)
+		if err != nil {
+			t.Fatalf("%v: %v", id, err)
+		}
+		target, err := TableITarget(id, scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := ds.Stats()
+		within := func(name string, got, want int, tolFrac float64) {
+			tol := int(float64(want) * tolFrac)
+			if got < want-tol || got > want+tol {
+				t.Errorf("%v %s = %d, want %d ± %d", id, name, got, want, tol)
+			}
+		}
+		within("users", s.Users, target.Users, 0.1)
+		within("merchants", s.Merchants, target.Merchants, 0.1)
+		within("edges", s.Edges, target.Edges, 0.25)
+		within("fraud PINs", s.FraudPINs, target.FraudPINs, 0.25)
+	}
+}
+
+func TestPresetInvalid(t *testing.T) {
+	if _, err := Preset(PresetID(99), 0.1, 1); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if _, err := Preset(Dataset1, 0, 1); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, err := Preset(Dataset1, 1.5, 1); err == nil {
+		t.Error("scale > 1 accepted")
+	}
+	if _, err := TableITarget(PresetID(99), 0.1); err == nil {
+		t.Error("unknown target accepted")
+	}
+}
+
+func TestPresetFraudRatesDiffer(t *testing.T) {
+	// Dataset #2 has a much lower fraud rate than #1 and #3 in Table I; the
+	// presets must preserve the ordering.
+	rates := map[PresetID]float64{}
+	for _, id := range AllPresets() {
+		ds, err := GeneratePreset(id, 0.01, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := ds.Stats()
+		rates[id] = float64(s.FraudPINs) / float64(s.Users)
+	}
+	if !(rates[Dataset2] < rates[Dataset1] && rates[Dataset2] < rates[Dataset3]) {
+		t.Errorf("fraud-rate ordering wrong: %v", rates)
+	}
+}
+
+func TestEstimatedFraudEdges(t *testing.T) {
+	groups := []GroupSpec{{Users: 10, Merchants: 10, Density: 0.5, CamouflagePerUser: 2}}
+	if got := estimatedFraudEdges(groups); got != 50+20 {
+		t.Errorf("estimate = %d, want 70", got)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	if Dataset1.String() != "Dataset #1" {
+		t.Errorf("String = %q", Dataset1.String())
+	}
+	if math.Signbit(float64(Dataset3)) {
+		t.Error("preset ids must be positive")
+	}
+}

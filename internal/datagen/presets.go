@@ -1,0 +1,176 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PresetID selects one of the paper's three Table I datasets.
+type PresetID int
+
+// The three JD.com transaction datasets of Table I.
+const (
+	Dataset1 PresetID = iota + 1
+	Dataset2
+	Dataset3
+)
+
+// String implements fmt.Stringer.
+func (p PresetID) String() string { return fmt.Sprintf("Dataset #%d", int(p)) }
+
+// tableIRow holds the paper's Table I targets at full scale.
+type tableIRow struct {
+	users     int
+	fraudPINs int
+	merchants int
+	edges     int
+}
+
+var tableI = map[PresetID]tableIRow{
+	Dataset1: {users: 454_925, fraudPINs: 24_247, merchants: 226_585, edges: 1_023_846},
+	Dataset2: {users: 2_194_325, fraudPINs: 16_035, merchants: 120_867, edges: 2_790_517},
+	Dataset3: {users: 4_332_696, fraudPINs: 101_702, merchants: 556_634, edges: 7_997_696},
+}
+
+// Preset returns the Config mirroring one of Table I's datasets at the given
+// scale ∈ (0, 1] (1.0 reproduces the paper's full node/edge counts; tests
+// use ~0.02). Fraud is split into groups whose sizes vary pseudo-randomly
+// under the preset's seed, matching the paper's observation that "there are
+// usually multiple groups of fraudsters in the same period".
+func Preset(id PresetID, scale float64, seed int64) (Config, error) {
+	row, ok := tableI[id]
+	if !ok {
+		return Config{}, fmt.Errorf("datagen: unknown preset %d", int(id))
+	}
+	if scale <= 0 || scale > 1 {
+		return Config{}, fmt.Errorf("datagen: scale %g out of (0,1]", scale)
+	}
+	at := func(n int) int {
+		v := int(float64(n) * scale)
+		if v < 10 {
+			v = 10
+		}
+		return v
+	}
+
+	// Blacklist composition. Only about half of a real blacklist is
+	// *structurally* detectable (members of dense promotion-abuse blocks);
+	// the rest — stolen accounts, one-off abusers, later-appealed entries —
+	// has no block signature (§V-A describes exactly this churn). So the
+	// generator plants dense blocks for detectableShare of the Table I
+	// "Fraud PIN" count, drops missing labels from them, and fills the
+	// remainder of the blacklist with unstructured background users. This
+	// is also what keeps every detector's recall visibly below 1 in the
+	// paper's figures.
+	const (
+		detectableShare = 0.55
+		missing         = 0.2
+	)
+	targetBlacklist := at(row.fraudPINs)
+	planted := int(detectableShare * float64(targetBlacklist) / (1 - missing))
+	if planted < 60 {
+		planted = 60
+	}
+
+	cfg := Config{
+		Name:                id.String(),
+		Seed:                seed,
+		BackgroundUsers:     at(row.users) - planted,
+		BackgroundMerchants: at(row.merchants),
+		MissingLabelRate:    missing,
+		// The unstructured remainder of the blacklist, expressed relative
+		// to its planted part: |blacklist| lands on the Table I target.
+		FalseLabelRate: (1 - detectableShare) / detectableShare,
+	}
+
+	// Split the planted users into groups of 100-300 accounts that hit a
+	// shared merchant pool near-synchronously (density ≥ 0.8, §III-A
+	// "extremely synchronized behavior patterns"). High block density is
+	// not a free parameter: an S=0.1 edge sample thins a block's average
+	// degree by 10×, so blocks must start near avg degree ≳ 20 for their
+	// samples to stay denser than background blobs — the regime the
+	// paper's S=0.1 setting presumes. Each account also spends several
+	// camouflage purchases on popular honest merchants; the column-weighted
+	// metric is designed to shrug that off while the spectral baselines are
+	// not. Sizes come from a dedicated rng so the group structure is stable
+	// per (id, seed).
+	grng := rand.New(rand.NewSource(seed ^ int64(id)*0x9E3779B9))
+	groupSize := planted / 5
+	if groupSize < 100 {
+		groupSize = 100
+	}
+	if groupSize > 300 {
+		groupSize = 300
+	}
+	remaining := planted
+	for remaining > 0 {
+		gu := groupSize - 20 + grng.Intn(41)
+		if gu > remaining || remaining-gu < 60 {
+			gu = remaining // fold the remainder into the last group
+		}
+		remaining -= gu
+		cfg.Groups = append(cfg.Groups, GroupSpec{
+			Users:             gu,
+			Merchants:         15 + grng.Intn(16),
+			Density:           0.8 + 0.15*grng.Float64(),
+			CamouflagePerUser: 4 + grng.Intn(8),
+		})
+	}
+
+	// Legitimate shopping communities holding ~1/6 of the user base, each
+	// wider and sparser per node than any fraud block: they dominate the
+	// spectrum (more total edges per block) without out-scoring fraud under
+	// the density metric.
+	commEdges := 0
+	for commUsers := cfg.BackgroundUsers / 6; commUsers > 0; {
+		cu := 120 + grng.Intn(181) // 120-300 members
+		if cu > commUsers {
+			cu = commUsers
+		}
+		commUsers -= cu
+		cs := CommunitySpec{
+			Users:         cu,
+			Merchants:     cu/3 + 10,
+			AvgUserDegree: 3.5 + 2.5*grng.Float64(),
+		}
+		cfg.Communities = append(cfg.Communities, cs)
+		commEdges += int(float64(cs.Users) * cs.AvgUserDegree)
+	}
+
+	// The random background carries whatever Table I's edge budget leaves
+	// after fraud and community edges, floored so every dataset keeps a
+	// diffuse majority class.
+	cfg.BackgroundEdges = at(row.edges) - estimatedFraudEdges(cfg.Groups) - commEdges
+	if floor := at(row.edges) * 3 / 10; cfg.BackgroundEdges < floor {
+		cfg.BackgroundEdges = floor
+	}
+	return cfg, nil
+}
+
+// GeneratePreset is a convenience wrapper over Preset + Generate.
+func GeneratePreset(id PresetID, scale float64, seed int64) (*Dataset, error) {
+	cfg, err := Preset(id, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(cfg)
+}
+
+// AllPresets returns the three dataset ids in paper order.
+func AllPresets() []PresetID { return []PresetID{Dataset1, Dataset2, Dataset3} }
+
+// TableITarget returns the paper's published Table I row for a preset,
+// scaled; experiment reporting prints it next to the generated stats.
+func TableITarget(id PresetID, scale float64) (Stats, error) {
+	row, ok := tableI[id]
+	if !ok {
+		return Stats{}, fmt.Errorf("datagen: unknown preset %d", int(id))
+	}
+	return Stats{
+		Name:      id.String(),
+		Users:     int(float64(row.users) * scale),
+		FraudPINs: int(float64(row.fraudPINs) * scale),
+		Merchants: int(float64(row.merchants) * scale),
+		Edges:     int(float64(row.edges) * scale),
+	}, nil
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ensemfdet/internal/core"
+	"ensemfdet/internal/datagen"
+	"ensemfdet/internal/eval"
+	"ensemfdet/internal/fraudar"
+	"ensemfdet/internal/textplot"
+)
+
+// Fig4Dataset is one column of Figure 4: F1 and Precision as functions of
+// the number of detected PINs, for EnsemFDet (vote sweep, near-continuous)
+// and Fraudar (block prefixes, discrete polyline).
+type Fig4Dataset struct {
+	Dataset   string
+	EnsemFDet eval.Curve
+	Fraudar   eval.Curve
+	// Practicability measurements backing the paper's §V-C1 argument.
+	EnsemMaxGap   int // largest |detected| jump between EnsemFDet points
+	FraudarMaxGap int // largest |detected| jump between Fraudar points
+}
+
+// Fig4Result reproduces Figure 4(a)-(f).
+type Fig4Result struct {
+	Datasets []Fig4Dataset
+}
+
+// RunFig4 compares the two heuristics' operating-curve granularity on all
+// three datasets (S=0.1, N as scaled — the paper's §V-C1 setting).
+func RunFig4(env *Env) (*Fig4Result, error) {
+	res := &Fig4Result{}
+	for _, id := range datagen.AllPresets() {
+		ds, err := env.Dataset(id)
+		if err != nil {
+			return nil, err
+		}
+		out, err := core.Run(ds.Graph, env.EnsembleConfig())
+		if err != nil {
+			return nil, err
+		}
+		ens := VoteCurve(&out.Votes, ds.Labels)
+		fr := fraudar.Detect(ds.Graph, fraudar.Config{K: env.Scale.FraudarK}).Curve(ds.Labels)
+		res.Datasets = append(res.Datasets, Fig4Dataset{
+			Dataset:       ds.Name,
+			EnsemFDet:     ens,
+			Fraudar:       fr,
+			EnsemMaxGap:   ens.MaxDetectedGap(),
+			FraudarMaxGap: fr.MaxDetectedGap(),
+		})
+	}
+	return res, nil
+}
+
+// Render implements the experiment report.
+func (r *Fig4Result) Render(w io.Writer) error {
+	fmt.Fprintln(w, "FIGURE 4 — ENSEMFDET vs FRAUDAR: metric vs # of detected PINs")
+	for _, sub := range r.Datasets {
+		for _, panel := range []struct {
+			name   string
+			metric func(eval.Metrics) float64
+		}{{"F1", eval.F1Of}, {"Precision", eval.PrecisionOf}} {
+			p := textplot.New(fmt.Sprintf("%s — %s", sub.Dataset, panel.name), "# detected PIN", panel.name)
+			for _, mc := range []MethodCurve{{"EnsemFDet", sub.EnsemFDet}, {"Fraudar", sub.Fraudar}} {
+				pts := append(eval.Curve(nil), mc.Curve...)
+				pts.SortByDetected()
+				var xs, ys []float64
+				for _, pt := range pts {
+					xs = append(xs, float64(pt.Detected))
+					ys = append(ys, panel.metric(pt.Metrics))
+				}
+				p.Add(textplot.Series{Name: mc.Method, Marker: rune(mc.Method[0]), X: xs, Y: ys})
+			}
+			if _, err := io.WriteString(w, p.Render()); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(w, "  practicability: EnsemFDet max |detected| gap = %d points=%d; Fraudar max gap = %d points=%d\n",
+			sub.EnsemMaxGap, len(sub.EnsemFDet), sub.FraudarMaxGap, len(sub.Fraudar))
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ensemfdet/internal/core"
+	"ensemfdet/internal/datagen"
+	"ensemfdet/internal/eval"
+	"ensemfdet/internal/textplot"
+)
+
+// ParamCurve is one setting of a swept parameter with its operating curve.
+type ParamCurve struct {
+	Label string
+	Curve eval.Curve
+}
+
+// Fig7Result reproduces Figure 7: impact of the ensemble size N at fixed
+// S = 0.1 on Dataset #3.
+type Fig7Result struct {
+	Dataset string
+	Sweeps  []ParamCurve
+}
+
+// RunFig7 sweeps N ∈ {10, 20, 40, 80} scaled by Scale.N/80 (at full scale
+// the paper's literal values).
+func RunFig7(env *Env) (*Fig7Result, error) {
+	ds, err := env.Dataset(datagen.Dataset3)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{Dataset: ds.Name}
+	for _, frac := range []int{8, 4, 2, 1} { // N/8, N/4, N/2, N ⇒ 10,20,40,80 at N=80
+		n := env.Scale.N / frac
+		if n < 2 {
+			n = 2
+		}
+		cfg := env.EnsembleConfig()
+		cfg.NumSamples = n
+		out, err := core.Run(ds.Graph, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Sweeps = append(res.Sweeps, ParamCurve{
+			Label: fmt.Sprintf("N=%d", n),
+			Curve: VoteCurve(&out.Votes, ds.Labels),
+		})
+	}
+	return res, nil
+}
+
+// Render implements the experiment report.
+func (r *Fig7Result) Render(w io.Writer) error {
+	fmt.Fprintf(w, "FIGURE 7 — IMPACT OF N AT S=0.1 (%s)\n", r.Dataset)
+	return renderParamSweep(w, r.Sweeps)
+}
+
+// Fig8Result reproduces Figure 8: impact of the sample ratio S with the
+// repetition rate fixed at S·N = 1 on Dataset #3.
+type Fig8Result struct {
+	Dataset string
+	Sweeps  []ParamCurve
+}
+
+// RunFig8 sweeps S ∈ {0.01, 0.05, 0.1} with N = R/S at R = 1.
+func RunFig8(env *Env) (*Fig8Result, error) {
+	ds, err := env.Dataset(datagen.Dataset3)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig8Result{Dataset: ds.Name}
+	for _, s := range []float64{0.1, 0.05, 0.01} {
+		cfg := env.EnsembleConfig()
+		cfg.SampleRatio = s
+		cfg.NumSamples = int(1.0 / s) // R = S × N = 1
+		out, err := core.Run(ds.Graph, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Sweeps = append(res.Sweeps, ParamCurve{
+			Label: fmt.Sprintf("S=%g", s),
+			Curve: VoteCurve(&out.Votes, ds.Labels),
+		})
+	}
+	return res, nil
+}
+
+// Render implements the experiment report.
+func (r *Fig8Result) Render(w io.Writer) error {
+	fmt.Fprintf(w, "FIGURE 8 — IMPACT OF S AT S×N=1 (%s)\n", r.Dataset)
+	return renderParamSweep(w, r.Sweeps)
+}
+
+// Fig9Point is one vote threshold's measurement on one dataset.
+type Fig9Point struct {
+	T int
+	eval.Metrics
+}
+
+// Fig9Dataset is one dataset's T sweep.
+type Fig9Dataset struct {
+	Dataset string
+	Points  []Fig9Point
+}
+
+// Fig9Result reproduces Figure 9: impact of the voting threshold T at
+// S = 0.1, N as scaled, on all three datasets.
+type Fig9Result struct {
+	Datasets []Fig9Dataset
+}
+
+// RunFig9 sweeps T ∈ {1..TMax}.
+func RunFig9(env *Env) (*Fig9Result, error) {
+	res := &Fig9Result{}
+	for _, id := range datagen.AllPresets() {
+		ds, err := env.Dataset(id)
+		if err != nil {
+			return nil, err
+		}
+		out, err := core.Run(ds.Graph, env.EnsembleConfig())
+		if err != nil {
+			return nil, err
+		}
+		sub := Fig9Dataset{Dataset: ds.Name}
+		tMax := env.Scale.TMax
+		if tMax > out.Votes.NumSamples {
+			tMax = out.Votes.NumSamples
+		}
+		for t := 1; t <= tMax; t++ {
+			m := eval.Evaluate(ds.Labels, out.Votes.AcceptUsers(t))
+			sub.Points = append(sub.Points, Fig9Point{T: t, Metrics: m})
+		}
+		res.Datasets = append(res.Datasets, sub)
+	}
+	return res, nil
+}
+
+// Render implements the experiment report.
+func (r *Fig9Result) Render(w io.Writer) error {
+	fmt.Fprintln(w, "FIGURE 9 — IMPACT OF VOTING THRESHOLD T (S=0.1)")
+	for _, panel := range []struct {
+		name   string
+		metric func(eval.Metrics) float64
+	}{{"F1", eval.F1Of}, {"Recall", eval.RecallOf}, {"Precision", eval.PrecisionOf}} {
+		p := textplot.New(panel.name+" vs T", "T", panel.name)
+		for i, sub := range r.Datasets {
+			var xs, ys []float64
+			for _, pt := range sub.Points {
+				xs = append(xs, float64(pt.T))
+				ys = append(ys, panel.metric(pt.Metrics))
+			}
+			p.Add(textplot.Series{Name: sub.Dataset, Marker: rune('1' + i), X: xs, Y: ys})
+		}
+		if _, err := io.WriteString(w, p.Render()); err != nil {
+			return err
+		}
+	}
+	for _, sub := range r.Datasets {
+		fmt.Fprintf(w, "  %s: ", sub.Dataset)
+		for _, pt := range sub.Points {
+			fmt.Fprintf(w, "T=%d(P=%.2f,R=%.2f) ", pt.T, pt.Precision, pt.Recall)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// renderParamSweep prints the PR plot plus F1/Recall/Precision-vs-detected
+// plots shared by Figures 7 and 8.
+func renderParamSweep(w io.Writer, sweeps []ParamCurve) error {
+	pr := textplot.New("PR curve", "recall", "precision")
+	for i, sw := range sweeps {
+		pts := append(eval.Curve(nil), sw.Curve...)
+		pts.SortByRecall()
+		var xs, ys []float64
+		for _, pt := range pts {
+			xs = append(xs, pt.Recall)
+			ys = append(ys, pt.Precision)
+		}
+		pr.Add(textplot.Series{Name: sw.Label, Marker: rune('1' + i), X: xs, Y: ys})
+	}
+	if _, err := io.WriteString(w, pr.Render()); err != nil {
+		return err
+	}
+	for _, panel := range []struct {
+		name   string
+		metric func(eval.Metrics) float64
+	}{{"F1", eval.F1Of}, {"Recall", eval.RecallOf}, {"Precision", eval.PrecisionOf}} {
+		p := textplot.New(panel.name+" vs # detected PIN", "# detected PIN", panel.name)
+		for i, sw := range sweeps {
+			pts := append(eval.Curve(nil), sw.Curve...)
+			pts.SortByDetected()
+			var xs, ys []float64
+			for _, pt := range pts {
+				xs = append(xs, float64(pt.Detected))
+				ys = append(ys, panel.metric(pt.Metrics))
+			}
+			p.Add(textplot.Series{Name: sw.Label, Marker: rune('1' + i), X: xs, Y: ys})
+		}
+		if _, err := io.WriteString(w, p.Render()); err != nil {
+			return err
+		}
+	}
+	for _, sw := range sweeps {
+		fmt.Fprintf(w, "  %-8s AUC-PR=%.4f bestF1=%.4f\n", sw.Label, sw.Curve.AUCPR(), sw.Curve.MaxF1().F1)
+	}
+	return nil
+}

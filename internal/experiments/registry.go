@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Report is a renderable experiment result.
+type Report interface {
+	Render(w io.Writer) error
+}
+
+// Runner executes one experiment against an environment.
+type Runner func(*Env) (Report, error)
+
+// registry maps experiment ids (the paper's table/figure names) to runners.
+var registry = map[string]Runner{
+	"table1": func(e *Env) (Report, error) { return RunTable1(e) },
+	"table3": func(e *Env) (Report, error) { return RunTable3(e) },
+	"fig1":   func(e *Env) (Report, error) { return RunFig1(e) },
+	"fig3":   func(e *Env) (Report, error) { return RunFig3(e) },
+	"fig4":   func(e *Env) (Report, error) { return RunFig4(e) },
+	"fig5":   func(e *Env) (Report, error) { return RunFig5(e) },
+	"fig6":   func(e *Env) (Report, error) { return RunFig6(e) },
+	"fig7":   func(e *Env) (Report, error) { return RunFig7(e) },
+	"fig8":   func(e *Env) (Report, error) { return RunFig8(e) },
+	"fig9":   func(e *Env) (Report, error) { return RunFig9(e) },
+}
+
+// Names returns the experiment ids in run order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the runner for an experiment id.
+func Lookup(name string) (Runner, error) {
+	r, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, Names())
+	}
+	return r, nil
+}
+
+// RunAll executes every experiment in name order against a shared
+// environment, rendering each to w.
+func RunAll(env *Env, w io.Writer) error {
+	for _, name := range Names() {
+		runner, err := Lookup(name)
+		if err != nil {
+			return err
+		}
+		rep, err := runner(env)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		fmt.Fprintf(w, "\n==================== %s ====================\n", name)
+		if err := rep.Render(w); err != nil {
+			return fmt.Errorf("experiments: rendering %s: %w", name, err)
+		}
+	}
+	return nil
+}

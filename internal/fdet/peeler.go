@@ -1,0 +1,184 @@
+package fdet
+
+import (
+	"ensemfdet/internal/bipartite"
+	"ensemfdet/internal/density"
+	"ensemfdet/internal/indexheap"
+)
+
+// peeler holds the mutable cross-round state of one FDET run: the frozen
+// merchant weights and the per-edge liveness left behind by earlier blocks.
+type peeler struct {
+	g          *bipartite.Graph
+	w          []float64 // merchant weights frozen from g at construction
+	edgeAlive  []bool    // indexed by canonical (user-major) edge id
+	crossIndex []int32   // merchant-major position -> canonical edge id
+	aliveEdges int
+}
+
+func newPeeler(g *bipartite.Graph, metric density.Metric, weights []float64) *peeler {
+	if weights == nil {
+		weights = metric.MerchantWeights(g)
+	}
+	p := &peeler{
+		g:          g,
+		w:          weights,
+		edgeAlive:  make([]bool, g.NumEdges()),
+		crossIndex: g.BuildCrossIndex(),
+		aliveEdges: g.NumEdges(),
+	}
+	for i := range p.edgeAlive {
+		p.edgeAlive[i] = true
+	}
+	return p
+}
+
+// peelOnce performs one greedy peeling round over the alive part of the
+// graph: it deletes the minimum-priority node repeatedly, tracks the density
+// score φ after every deletion, returns the best suffix as a Block, and
+// marks that block's edges dead. ok is false when no alive edges remain.
+//
+// Priorities are the removal cost of a node: for a user, the summed weight
+// of its alive edges; for a merchant, its alive degree times its weight.
+// Removing the node subtracts exactly its priority from the total weighted
+// edge mass, so φ can be maintained incrementally in O(1) per deletion plus
+// O(deg log n) heap updates — the structure that yields the paper's
+// O(kˆ|E| log(|U|+|V|)) bound.
+func (p *peeler) peelOnce() (Block, bool) {
+	if p.aliveEdges == 0 {
+		return Block{}, false
+	}
+	g := p.g
+	nu, nm := g.NumUsers(), g.NumMerchants()
+
+	userPrio := make([]float64, nu)
+	merchPrio := make([]float64, nm)
+	userDeg := make([]int, nu)
+	merchDeg := make([]int, nm)
+	total := 0.0
+	for u := 0; u < nu; u++ {
+		start, end := g.UserRowRange(uint32(u))
+		for i := start; i < end; i++ {
+			if !p.edgeAlive[i] {
+				continue
+			}
+			v := g.UserAdjAt(i)
+			userPrio[u] += p.w[v]
+			userDeg[u]++
+			merchDeg[v]++
+			total += p.w[v]
+		}
+	}
+
+	h := indexheap.New(nu + nm)
+	nodesAlive := 0
+	for u := 0; u < nu; u++ {
+		if userDeg[u] > 0 {
+			h.Push(u, userPrio[u])
+			nodesAlive++
+		}
+	}
+	for v := 0; v < nm; v++ {
+		if merchDeg[v] > 0 {
+			merchPrio[v] = float64(merchDeg[v]) * p.w[v]
+			h.Push(nu+v, merchPrio[v])
+			nodesAlive++
+		}
+	}
+
+	// Simulate the full deletion sequence, recording φ after t deletions.
+	// phis[0] is the intact alive graph (H_n in Algorithm 1).
+	order := make([]int32, 0, nodesAlive)
+	phis := make([]float64, 1, nodesAlive+1)
+	phis[0] = total / float64(nodesAlive)
+	left := nodesAlive
+	for h.Len() > 0 {
+		id, prio := h.Pop()
+		order = append(order, int32(id))
+		total -= prio
+		left--
+		if id < nu {
+			u := uint32(id)
+			start, end := g.UserRowRange(u)
+			for i := start; i < end; i++ {
+				if !p.edgeAlive[i] {
+					continue
+				}
+				v := int(g.UserAdjAt(i))
+				if h.Contains(nu + v) {
+					h.Add(nu+v, -p.w[v])
+				}
+			}
+		} else {
+			v := uint32(id - nu)
+			wv := p.w[v]
+			start, end := g.MerchantRowRange(v)
+			for pp := start; pp < end; pp++ {
+				if !p.edgeAlive[p.crossIndex[pp]] {
+					continue
+				}
+				u := int(g.MerchantAdjAt(pp))
+				if h.Contains(u) {
+					h.Add(u, -wv)
+				}
+			}
+		}
+		if left > 0 {
+			phis = append(phis, total/float64(left))
+		} else {
+			phis = append(phis, 0)
+		}
+	}
+
+	// Best suffix: earliest argmax keeps the largest qualifying subgraph and
+	// makes the result deterministic.
+	bestT, bestPhi := 0, phis[0]
+	for t, phi := range phis {
+		if phi > bestPhi {
+			bestT, bestPhi = t, phi
+		}
+	}
+
+	// Membership: alive nodes not deleted in the first bestT steps.
+	inBlockUser := make([]bool, nu)
+	inBlockMerch := make([]bool, nm)
+	for u := 0; u < nu; u++ {
+		inBlockUser[u] = userDeg[u] > 0
+	}
+	for v := 0; v < nm; v++ {
+		inBlockMerch[v] = merchDeg[v] > 0
+	}
+	for t := 0; t < bestT; t++ {
+		id := int(order[t])
+		if id < nu {
+			inBlockUser[id] = false
+		} else {
+			inBlockMerch[id-nu] = false
+		}
+	}
+
+	blk := Block{Score: bestPhi}
+	for u := 0; u < nu; u++ {
+		if inBlockUser[u] {
+			blk.Users = append(blk.Users, uint32(u))
+		}
+	}
+	for v := 0; v < nm; v++ {
+		if inBlockMerch[v] {
+			blk.Merchants = append(blk.Merchants, uint32(v))
+		}
+	}
+
+	// Remove the block's internal edges so the next round searches the rest
+	// of the graph (Algorithm 1 line 11).
+	for _, u := range blk.Users {
+		start, end := g.UserRowRange(u)
+		for i := start; i < end; i++ {
+			if p.edgeAlive[i] && inBlockMerch[g.UserAdjAt(i)] {
+				p.edgeAlive[i] = false
+				p.aliveEdges--
+			}
+		}
+	}
+	return blk, true
+}

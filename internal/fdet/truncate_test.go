@@ -1,0 +1,96 @@
+package fdet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPropertyTruncatingPointBounds(t *testing.T) {
+	// 1 ≤ kˆ ≤ len(scores) for any score sequence of length ≥ 1, and for
+	// sequences shorter than 3 the whole sequence is kept.
+	f := func(raw []float64) bool {
+		k := TruncatingPoint(raw)
+		if len(raw) < 3 {
+			return k == len(raw)
+		}
+		return k >= 1 && k <= len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTruncatingPointFindsSharpestDrop(t *testing.T) {
+	// For a sequence that is flat except for one sharp drop after index j,
+	// the truncating point must be j+1 (keep blocks up to and including the
+	// last pre-drop block).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(15)
+		j := 1 + rng.Intn(n-3) // drop strictly inside the interior
+		scores := make([]float64, n)
+		for i := range scores {
+			if i <= j {
+				scores[i] = 1.0 - 0.001*float64(i) // high plateau
+			} else {
+				scores[i] = 0.2 - 0.001*float64(i) // low plateau
+			}
+		}
+		return TruncatingPoint(scores) == j+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySecondDifferencesLength(t *testing.T) {
+	f := func(raw []float64) bool {
+		d2 := SecondDifferences(raw)
+		if len(raw) < 3 {
+			return d2 == nil
+		}
+		return len(d2) == len(raw)-2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDetectBlockScoresMatchTruncation(t *testing.T) {
+	// Detect's retained block count always equals TruncatingPoint of its
+	// full score sequence when early stopping is disabled.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, _ := plantedGraph(seed, 50+rng.Intn(100), 50+rng.Intn(100), 100+rng.Intn(300),
+			1+rng.Intn(3), 4+rng.Intn(5), 4+rng.Intn(5))
+		res := Detect(g, Options{DisableEarlyStop: true, MaxBlocks: 12})
+		if len(res.Scores) == 0 {
+			return len(res.Blocks) == 0
+		}
+		want := TruncatingPoint(res.Scores)
+		return res.TruncatedAt == want && len(res.Blocks) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBlockScoresPositive(t *testing.T) {
+	// Every detected block must have a strictly positive score (an empty or
+	// zero-mass block must never be emitted).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, _ := plantedGraph(seed, 30+rng.Intn(60), 30+rng.Intn(60), 50+rng.Intn(150), 1, 5, 5)
+		res := Detect(g, Options{FixedK: 10})
+		for _, blk := range res.Blocks {
+			if !(blk.Score > 0) || blk.NumNodes() == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

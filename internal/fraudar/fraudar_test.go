@@ -1,0 +1,119 @@
+package fraudar
+
+import (
+	"math/rand"
+	"testing"
+
+	"ensemfdet/internal/bipartite"
+	"ensemfdet/internal/eval"
+)
+
+func plantedGraph(seed int64, bgUsers, bgMerchants, bgEdges, numBlocks, blockUsers, blockMerchants int) (*bipartite.Graph, []uint32) {
+	rng := rand.New(rand.NewSource(seed))
+	nu := bgUsers + numBlocks*blockUsers
+	nm := bgMerchants + numBlocks*blockMerchants
+	b := bipartite.NewBuilderSized(nu, nm, 0)
+	for i := 0; i < bgEdges; i++ {
+		b.AddEdge(uint32(rng.Intn(bgUsers)), uint32(rng.Intn(bgMerchants)))
+	}
+	var fraud []uint32
+	for k := 0; k < numBlocks; k++ {
+		for i := 0; i < blockUsers; i++ {
+			u := uint32(bgUsers + k*blockUsers + i)
+			fraud = append(fraud, u)
+			for j := 0; j < blockMerchants; j++ {
+				b.AddEdge(u, uint32(bgMerchants+k*blockMerchants+j))
+			}
+		}
+	}
+	return b.Build(), fraud
+}
+
+func TestDetectRecoversPlantedBlocks(t *testing.T) {
+	g, fraud := plantedGraph(1, 300, 300, 600, 2, 10, 10)
+	res := Detect(g, Config{K: 5})
+	if len(res.Blocks) == 0 {
+		t.Fatal("no blocks")
+	}
+	det := res.PrefixUsers(2)
+	inDet := make(map[uint32]bool)
+	for _, u := range det {
+		inDet[u] = true
+	}
+	hits := 0
+	for _, u := range fraud {
+		if inDet[u] {
+			hits++
+		}
+	}
+	if hits < len(fraud) {
+		t.Errorf("first 2 blocks recover %d/%d planted users", hits, len(fraud))
+	}
+}
+
+func TestPrefixUsersMonotone(t *testing.T) {
+	g, _ := plantedGraph(3, 200, 200, 500, 2, 8, 8)
+	res := Detect(g, Config{K: 6})
+	prev := 0
+	for k := 1; k <= len(res.Blocks); k++ {
+		n := len(res.PrefixUsers(k))
+		if n < prev {
+			t.Fatalf("prefix user count decreased at k=%d: %d < %d", k, n, prev)
+		}
+		prev = n
+	}
+	// Clamp beyond available blocks.
+	if len(res.PrefixUsers(100)) != prev {
+		t.Error("PrefixUsers(100) != full union")
+	}
+}
+
+func TestCurveShape(t *testing.T) {
+	g, fraud := plantedGraph(5, 400, 400, 800, 3, 10, 10)
+	labels := eval.NewLabels(g.NumUsers(), fraud)
+	res := Detect(g, Config{K: 8})
+	curve := res.Curve(labels)
+	if len(curve) != len(res.Blocks) {
+		t.Fatalf("curve has %d points for %d blocks", len(curve), len(res.Blocks))
+	}
+	// Early prefixes should be high precision (dense planted blocks first).
+	if curve[0].Precision < 0.9 {
+		t.Errorf("first block precision %.2f, want ≥ 0.9", curve[0].Precision)
+	}
+	// Recall is monotone in the prefix.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Recall < curve[i-1].Recall-1e-12 {
+			t.Errorf("recall decreased at prefix %d", i+1)
+		}
+	}
+}
+
+func TestDefaultK(t *testing.T) {
+	if (Config{}).k() != DefaultK {
+		t.Errorf("default K = %d, want %d", (Config{}).k(), DefaultK)
+	}
+}
+
+func TestDetectEmptyGraph(t *testing.T) {
+	res := Detect(bipartite.NewBuilder().Build(), Config{})
+	if len(res.Blocks) != 0 {
+		t.Error("blocks on empty graph")
+	}
+	if len(res.PrefixUsers(3)) != 0 {
+		t.Error("users on empty graph")
+	}
+}
+
+func TestDetectFewerBlocksThanK(t *testing.T) {
+	// A single dense block graph cannot produce 30 blocks.
+	b := bipartite.NewBuilderSized(5, 5, 25)
+	for u := 0; u < 5; u++ {
+		for v := 0; v < 5; v++ {
+			b.AddEdge(uint32(u), uint32(v))
+		}
+	}
+	res := Detect(b.Build(), Config{K: 30})
+	if len(res.Blocks) == 0 || len(res.Blocks) > 30 {
+		t.Errorf("blocks = %d", len(res.Blocks))
+	}
+}

@@ -1,0 +1,160 @@
+// Package indexheap provides an indexed binary min-heap over the node ids of
+// a graph, supporting O(log n) decrease/increase-key by id. It is the
+// "minimal heap" the paper relies on for FDET's O(kˆ|E| log(|U|+|V|)) bound
+// (§IV-B): greedy peeling repeatedly pops the minimum-priority node and
+// lowers the priorities of its neighbours.
+package indexheap
+
+// Heap is an indexed min-heap of float64 priorities keyed by dense int ids in
+// [0, capacity). The zero value is not usable; construct with New.
+type Heap struct {
+	ids   []int32 // heap array of ids
+	pos   []int32 // pos[id] = index in ids, or -1 if absent
+	prio  []float64
+	count int
+}
+
+const absent = int32(-1)
+
+// New returns a heap able to hold ids in [0, capacity).
+func New(capacity int) *Heap {
+	h := &Heap{
+		ids:  make([]int32, 0, capacity),
+		pos:  make([]int32, capacity),
+		prio: make([]float64, capacity),
+	}
+	for i := range h.pos {
+		h.pos[i] = absent
+	}
+	return h
+}
+
+// Len returns the number of ids currently in the heap.
+func (h *Heap) Len() int { return h.count }
+
+// Contains reports whether id is in the heap.
+func (h *Heap) Contains(id int) bool { return h.pos[id] != absent }
+
+// Priority returns the current priority of id. It must be in the heap.
+func (h *Heap) Priority(id int) float64 { return h.prio[id] }
+
+// Push inserts id with the given priority. It panics if id is already
+// present; use Update to change an existing priority.
+func (h *Heap) Push(id int, priority float64) {
+	if h.pos[id] != absent {
+		panic("indexheap: Push of id already in heap")
+	}
+	h.prio[id] = priority
+	h.ids = append(h.ids, int32(id))
+	h.pos[id] = int32(h.count)
+	h.count++
+	h.up(h.count - 1)
+}
+
+// Pop removes and returns the id with minimum priority and that priority.
+// Ties are broken arbitrarily but deterministically. It panics on an empty
+// heap.
+func (h *Heap) Pop() (id int, priority float64) {
+	if h.count == 0 {
+		panic("indexheap: Pop from empty heap")
+	}
+	top := h.ids[0]
+	h.swap(0, h.count-1)
+	h.ids = h.ids[:h.count-1]
+	h.count--
+	h.pos[top] = absent
+	if h.count > 0 {
+		h.down(0)
+	}
+	return int(top), h.prio[top]
+}
+
+// Peek returns the minimum id and priority without removing it.
+func (h *Heap) Peek() (id int, priority float64) {
+	if h.count == 0 {
+		panic("indexheap: Peek of empty heap")
+	}
+	return int(h.ids[0]), h.prio[h.ids[0]]
+}
+
+// Update changes the priority of id, restoring heap order in O(log n).
+// It panics if id is not in the heap.
+func (h *Heap) Update(id int, priority float64) {
+	i := h.pos[id]
+	if i == absent {
+		panic("indexheap: Update of id not in heap")
+	}
+	old := h.prio[id]
+	h.prio[id] = priority
+	switch {
+	case priority < old:
+		h.up(int(i))
+	case priority > old:
+		h.down(int(i))
+	}
+}
+
+// Add increments the priority of id by delta (delta may be negative).
+func (h *Heap) Add(id int, delta float64) {
+	h.Update(id, h.prio[id]+delta)
+}
+
+// Remove deletes id from the heap regardless of its position.
+func (h *Heap) Remove(id int) {
+	i := h.pos[id]
+	if i == absent {
+		panic("indexheap: Remove of id not in heap")
+	}
+	h.swap(int(i), h.count-1)
+	h.ids = h.ids[:h.count-1]
+	h.count--
+	h.pos[id] = absent
+	if int(i) < h.count {
+		h.down(int(i))
+		h.up(int(i))
+	}
+}
+
+func (h *Heap) less(i, j int) bool {
+	pi, pj := h.prio[h.ids[i]], h.prio[h.ids[j]]
+	if pi != pj {
+		return pi < pj
+	}
+	// Deterministic tie-break on id keeps peeling reproducible across runs.
+	return h.ids[i] < h.ids[j]
+}
+
+func (h *Heap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.pos[h.ids[i]] = int32(i)
+	h.pos[h.ids[j]] = int32(j)
+}
+
+func (h *Heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < h.count && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < h.count && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

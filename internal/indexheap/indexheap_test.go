@@ -1,0 +1,178 @@
+package indexheap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopOrdered(t *testing.T) {
+	h := New(5)
+	prios := []float64{3, 1, 4, 1.5, 0.5}
+	for id, p := range prios {
+		h.Push(id, p)
+	}
+	if h.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", h.Len())
+	}
+	wantOrder := []int{4, 1, 3, 0, 2}
+	for _, want := range wantOrder {
+		id, _ := h.Pop()
+		if id != want {
+			t.Fatalf("Pop = %d, want %d", id, want)
+		}
+	}
+	if h.Len() != 0 {
+		t.Errorf("Len after drain = %d", h.Len())
+	}
+}
+
+func TestUpdateDecreaseKey(t *testing.T) {
+	h := New(3)
+	h.Push(0, 10)
+	h.Push(1, 20)
+	h.Push(2, 30)
+	h.Update(2, 1)
+	if id, p := h.Peek(); id != 2 || p != 1 {
+		t.Errorf("Peek = (%d,%g), want (2,1)", id, p)
+	}
+	h.Update(2, 100)
+	if id, _ := h.Peek(); id != 0 {
+		t.Errorf("Peek after increase = %d, want 0", id)
+	}
+}
+
+func TestAddDelta(t *testing.T) {
+	h := New(2)
+	h.Push(0, 5)
+	h.Push(1, 6)
+	h.Add(1, -3)
+	if id, p := h.Peek(); id != 1 || p != 3 {
+		t.Errorf("Peek = (%d,%g), want (1,3)", id, p)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	h := New(4)
+	for i := 0; i < 4; i++ {
+		h.Push(i, float64(i))
+	}
+	h.Remove(0) // remove the min
+	if id, _ := h.Peek(); id != 1 {
+		t.Errorf("Peek after Remove(0) = %d, want 1", id)
+	}
+	h.Remove(2) // remove from the middle
+	if h.Contains(2) {
+		t.Error("Contains(2) after Remove")
+	}
+	if h.Len() != 2 {
+		t.Errorf("Len = %d, want 2", h.Len())
+	}
+}
+
+func TestContainsAndPriority(t *testing.T) {
+	h := New(2)
+	h.Push(1, 7)
+	if !h.Contains(1) || h.Contains(0) {
+		t.Error("Contains wrong")
+	}
+	if h.Priority(1) != 7 {
+		t.Errorf("Priority = %g, want 7", h.Priority(1))
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	h := New(2)
+	mustPanic("Pop empty", func() { h.Pop() })
+	mustPanic("Peek empty", func() { h.Peek() })
+	mustPanic("Update absent", func() { h.Update(0, 1) })
+	mustPanic("Remove absent", func() { h.Remove(0) })
+	h.Push(0, 1)
+	mustPanic("double Push", func() { h.Push(0, 2) })
+}
+
+func TestPropertyHeapSort(t *testing.T) {
+	// Pushing random priorities and draining must yield sorted order.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		h := New(n)
+		prios := make([]float64, n)
+		for i := range prios {
+			prios[i] = rng.NormFloat64()
+			h.Push(i, prios[i])
+		}
+		var got []float64
+		for h.Len() > 0 {
+			_, p := h.Pop()
+			got = append(got, p)
+		}
+		return sort.Float64sAreSorted(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRandomOps(t *testing.T) {
+	// A random interleaving of push/update/remove/pop keeps the heap
+	// consistent with a naive model.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 64
+		h := New(n)
+		model := make(map[int]float64)
+		for step := 0; step < 500; step++ {
+			id := rng.Intn(n)
+			switch op := rng.Intn(4); op {
+			case 0: // push
+				if _, ok := model[id]; !ok {
+					p := rng.Float64()
+					model[id] = p
+					h.Push(id, p)
+				}
+			case 1: // update
+				if _, ok := model[id]; ok {
+					p := rng.Float64()
+					model[id] = p
+					h.Update(id, p)
+				}
+			case 2: // remove
+				if _, ok := model[id]; ok {
+					delete(model, id)
+					h.Remove(id)
+				}
+			case 3: // pop
+				if len(model) > 0 {
+					got, p := h.Pop()
+					want, ok := model[got]
+					if !ok || want != p {
+						return false
+					}
+					for _, mp := range model {
+						if mp < p {
+							return false
+						}
+					}
+					delete(model, got)
+				}
+			}
+			if h.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

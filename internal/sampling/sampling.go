@@ -1,0 +1,163 @@
+// Package sampling implements the three structural sampling methods for
+// bipartite graphs from paper §IV-A: random edge sampling (RES), one-side
+// node sampling (ONS) and two-side node sampling (TNS), plus the sampling
+// theory helpers behind Eq. 3 and Lemma 1.
+//
+// All methods draw without replacement, honour a sample ratio S and are
+// deterministic given the caller's *rand.Rand, which is what lets the
+// ensemble layer fan samples out across goroutines reproducibly.
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ensemfdet/internal/bipartite"
+)
+
+// Method produces one sampled subgraph from a parent graph. Implementations
+// must be safe for concurrent use by multiple goroutines as long as each call
+// receives its own rng.
+type Method interface {
+	// Name identifies the method in experiment output, e.g. "RES".
+	Name() string
+	// Sample draws a subgraph with the given ratio S ∈ (0, 1]. The meaning
+	// of S is method-specific: fraction of edges for RES, fraction of the
+	// sampled side's nodes for ONS, fraction of each side for TNS.
+	Sample(g *bipartite.Graph, ratio float64, rng *rand.Rand) *bipartite.Subgraph
+}
+
+// RandomEdge is RES (§IV-A2): a uniform sample of ⌈S·|E|⌉ distinct edges;
+// the subgraph contains exactly those edges and their endpoints.
+type RandomEdge struct{}
+
+// Name implements Method.
+func (RandomEdge) Name() string { return "RES" }
+
+// Sample implements Method.
+func (RandomEdge) Sample(g *bipartite.Graph, ratio float64, rng *rand.Rand) *bipartite.Subgraph {
+	m := sampleCount(g.NumEdges(), ratio)
+	idx := sampleIndices(g.NumEdges(), m, rng)
+	sort.Ints(idx)
+	// Single merged pass: idx is sorted, and user-major edge ids are grouped
+	// by user, so we walk users forward as we consume indices.
+	edges := make([]bipartite.Edge, 0, m)
+	u := uint32(0)
+	for _, i := range idx {
+		for {
+			_, end := g.UserRowRange(u)
+			if i < end {
+				break
+			}
+			u++
+		}
+		edges = append(edges, bipartite.Edge{U: u, V: g.UserAdjAt(i)})
+	}
+	return g.InducedByEdges(edges)
+}
+
+// OneSideNode is ONS (§IV-A3): a uniform sample of ⌈S·n⌉ nodes from one
+// side; sampled nodes keep all their incident edges. The paper's
+// "task-oriented" and "retain topology" principles govern which Side to
+// sample — for dense-subgraph detection, sample the side with the higher
+// average degree (typically merchants).
+type OneSideNode struct {
+	Side bipartite.Side
+}
+
+// Name implements Method.
+func (o OneSideNode) Name() string { return fmt.Sprintf("ONS-%s", o.Side) }
+
+// Sample implements Method.
+func (o OneSideNode) Sample(g *bipartite.Graph, ratio float64, rng *rand.Rand) *bipartite.Subgraph {
+	n := g.NumNodesOn(o.Side)
+	ids := sampleIDs(n, sampleCount(n, ratio), rng)
+	if o.Side == bipartite.UserSide {
+		return g.InducedByUsers(ids)
+	}
+	return g.InducedByMerchants(ids)
+}
+
+// TwoSideNode is TNS (§IV-A4): independent uniform samples of ⌈S·|U|⌉ users
+// and ⌈S·|V|⌉ merchants; the subgraph is the cross-section, so its expected
+// edge count is ≈ S²·|E| — callers typically enlarge S or the number of
+// samples N to compensate, as the paper notes.
+type TwoSideNode struct{}
+
+// Name implements Method.
+func (TwoSideNode) Name() string { return "TNS" }
+
+// Sample implements Method.
+func (TwoSideNode) Sample(g *bipartite.Graph, ratio float64, rng *rand.Rand) *bipartite.Subgraph {
+	nu, nm := g.NumUsers(), g.NumMerchants()
+	users := sampleIDs(nu, sampleCount(nu, ratio), rng)
+	merchants := sampleIDs(nm, sampleCount(nm, ratio), rng)
+	return g.InducedByBoth(users, merchants)
+}
+
+// ByName returns the sampling method with the given name, one of "RES",
+// "ONS-user", "ONS-merchant", "TNS".
+func ByName(name string) (Method, error) {
+	switch name {
+	case "RES":
+		return RandomEdge{}, nil
+	case "ONS-user":
+		return OneSideNode{Side: bipartite.UserSide}, nil
+	case "ONS-merchant":
+		return OneSideNode{Side: bipartite.MerchantSide}, nil
+	case "TNS":
+		return TwoSideNode{}, nil
+	default:
+		return nil, fmt.Errorf("sampling: unknown method %q", name)
+	}
+}
+
+// All returns every sampling method, in the order Figure 5 plots them.
+func All() []Method {
+	return []Method{
+		TwoSideNode{},
+		OneSideNode{Side: bipartite.MerchantSide},
+		OneSideNode{Side: bipartite.UserSide},
+		RandomEdge{},
+	}
+}
+
+// sampleCount converts a ratio into a draw count, clamped to [0, n]; a
+// positive ratio on a non-empty population draws at least one element.
+func sampleCount(n int, ratio float64) int {
+	if n == 0 || ratio <= 0 {
+		return 0
+	}
+	m := int(math.Ceil(ratio * float64(n)))
+	if m > n {
+		m = n
+	}
+	return m
+}
+
+// sampleIndices draws m distinct ints from [0, n) using Floyd's algorithm,
+// O(m) expected time and memory independent of n.
+func sampleIndices(n, m int, rng *rand.Rand) []int {
+	chosen := make(map[int]bool, m)
+	out := make([]int, 0, m)
+	for i := n - m; i < n; i++ {
+		j := rng.Intn(i + 1)
+		if chosen[j] {
+			j = i
+		}
+		chosen[j] = true
+		out = append(out, j)
+	}
+	return out
+}
+
+func sampleIDs(n, m int, rng *rand.Rand) []uint32 {
+	idx := sampleIndices(n, m, rng)
+	ids := make([]uint32, len(idx))
+	for i, x := range idx {
+		ids[i] = uint32(x)
+	}
+	return ids
+}

@@ -1,0 +1,197 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ensemfdet/internal/bipartite"
+)
+
+func randomGraph(seed int64, nu, nm, edges int) *bipartite.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := bipartite.NewBuilderSized(nu, nm, edges)
+	for i := 0; i < edges; i++ {
+		b.AddEdge(uint32(rng.Intn(nu)), uint32(rng.Intn(nm)))
+	}
+	return b.Build()
+}
+
+func TestRandomEdgeSampleSize(t *testing.T) {
+	g := randomGraph(1, 100, 100, 1000)
+	rng := rand.New(rand.NewSource(2))
+	sg := (RandomEdge{}).Sample(g, 0.1, rng)
+	want := int(math.Ceil(0.1 * float64(g.NumEdges())))
+	if sg.NumEdges() != want {
+		t.Errorf("RES edges = %d, want %d", sg.NumEdges(), want)
+	}
+	if err := sg.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestRandomEdgeSampleEdgesExist(t *testing.T) {
+	g := randomGraph(3, 50, 50, 400)
+	rng := rand.New(rand.NewSource(4))
+	sg := (RandomEdge{}).Sample(g, 0.2, rng)
+	sg.Edges(func(e bipartite.Edge) bool {
+		if !g.HasEdge(sg.ParentUser(e.U), sg.ParentMerchant(e.V)) {
+			t.Errorf("sampled edge %v not in parent", e)
+			return false
+		}
+		return true
+	})
+}
+
+func TestOneSideNodeSampleSize(t *testing.T) {
+	g := randomGraph(5, 80, 60, 500)
+	rng := rand.New(rand.NewSource(6))
+	sg := (OneSideNode{Side: bipartite.UserSide}).Sample(g, 0.25, rng)
+	want := int(math.Ceil(0.25 * 80))
+	if sg.NumUsers() != want {
+		t.Errorf("ONS-user users = %d, want %d", sg.NumUsers(), want)
+	}
+	// Sampled users keep all incident edges.
+	total := 0
+	for u := 0; u < sg.NumUsers(); u++ {
+		pu := sg.ParentUser(uint32(u))
+		if sg.UserDegree(uint32(u)) != g.UserDegree(pu) {
+			t.Errorf("user %d lost edges: %d vs %d", pu, sg.UserDegree(uint32(u)), g.UserDegree(pu))
+		}
+		total += g.UserDegree(pu)
+	}
+	if sg.NumEdges() != total {
+		t.Errorf("edges = %d, want %d", sg.NumEdges(), total)
+	}
+}
+
+func TestOneSideNodeMerchantSide(t *testing.T) {
+	g := randomGraph(7, 60, 40, 300)
+	rng := rand.New(rand.NewSource(8))
+	sg := (OneSideNode{Side: bipartite.MerchantSide}).Sample(g, 0.5, rng)
+	want := int(math.Ceil(0.5 * 40))
+	if sg.NumMerchants() != want {
+		t.Errorf("ONS-merchant merchants = %d, want %d", sg.NumMerchants(), want)
+	}
+}
+
+func TestTwoSideNodeSampleSize(t *testing.T) {
+	g := randomGraph(9, 100, 100, 2000)
+	rng := rand.New(rand.NewSource(10))
+	sg := (TwoSideNode{}).Sample(g, 0.3, rng)
+	// Cross-section drops isolated nodes, so sizes are upper bounds.
+	if sg.NumUsers() > 30 || sg.NumMerchants() > 30 {
+		t.Errorf("TNS sizes (%d,%d) exceed requested 30", sg.NumUsers(), sg.NumMerchants())
+	}
+	// Expected edges ≈ S² |E| = 180; allow generous slack.
+	if sg.NumEdges() == 0 {
+		t.Error("TNS produced no edges on a dense graph")
+	}
+	if sg.NumEdges() > g.NumEdges()/2 {
+		t.Errorf("TNS kept %d of %d edges, far above S²", sg.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestSampleRatioOne(t *testing.T) {
+	g := randomGraph(11, 30, 30, 200)
+	rng := rand.New(rand.NewSource(12))
+	sg := (RandomEdge{}).Sample(g, 1.0, rng)
+	if sg.NumEdges() != g.NumEdges() {
+		t.Errorf("S=1 RES kept %d of %d edges", sg.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestSampleEmptyGraph(t *testing.T) {
+	g := bipartite.NewBuilder().Build()
+	rng := rand.New(rand.NewSource(13))
+	for _, m := range All() {
+		sg := m.Sample(g, 0.5, rng)
+		if sg.NumEdges() != 0 {
+			t.Errorf("%s on empty graph produced edges", m.Name())
+		}
+	}
+}
+
+func TestSampleDeterministicGivenSeed(t *testing.T) {
+	g := randomGraph(15, 50, 50, 400)
+	for _, m := range All() {
+		a := m.Sample(g, 0.2, rand.New(rand.NewSource(42)))
+		b := m.Sample(g, 0.2, rand.New(rand.NewSource(42)))
+		if a.NumEdges() != b.NumEdges() || a.NumUsers() != b.NumUsers() {
+			t.Errorf("%s not deterministic", m.Name())
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, m := range All() {
+		got, err := ByName(m.Name())
+		if err != nil {
+			t.Errorf("ByName(%q): %v", m.Name(), err)
+			continue
+		}
+		if got.Name() != m.Name() {
+			t.Errorf("ByName(%q).Name() = %q", m.Name(), got.Name())
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("ByName accepted bogus name")
+	}
+}
+
+func TestPropertySampleSizesWithinBounds(t *testing.T) {
+	f := func(seed int64, ratioRaw uint8) bool {
+		ratio := float64(ratioRaw%100+1) / 100 // (0,1]
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(seed, 10+rng.Intn(50), 10+rng.Intn(50), 50+rng.Intn(300))
+		for _, m := range All() {
+			sg := m.Sample(g, ratio, rng)
+			if sg.NumEdges() > g.NumEdges() {
+				return false
+			}
+			if sg.NumUsers() > g.NumUsers() || sg.NumMerchants() > g.NumMerchants() {
+				return false
+			}
+			if sg.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRESFavorsHighDegreeNodes(t *testing.T) {
+	// Empirical check of Lemma 1's consequence: under RES, a merchant with
+	// many edges should appear in samples far more often than a merchant
+	// with one edge.
+	b := bipartite.NewBuilderSized(101, 2, 0)
+	for u := 0; u < 100; u++ {
+		b.AddEdge(uint32(u), 0) // merchant 0: degree 100
+	}
+	b.AddEdge(100, 1) // merchant 1: degree 1
+	g := b.Build()
+	rng := rand.New(rand.NewSource(99))
+	hits0, hits1 := 0, 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		sg := (RandomEdge{}).Sample(g, 0.1, rng)
+		for v := 0; v < sg.NumMerchants(); v++ {
+			switch sg.ParentMerchant(uint32(v)) {
+			case 0:
+				hits0++
+			case 1:
+				hits1++
+			}
+		}
+	}
+	if hits0 != trials {
+		t.Errorf("degree-100 merchant appeared %d/%d times, want always", hits0, trials)
+	}
+	if hits1 > trials/2 {
+		t.Errorf("degree-1 merchant appeared %d/%d times, want ≈ 10%%", hits1, trials)
+	}
+}

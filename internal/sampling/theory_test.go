@@ -1,0 +1,96 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpectedNSByDegree(t *testing.T) {
+	hist := []int{0, 10, 5, 2}
+	got := ExpectedNSByDegree(hist, 0.3)
+	want := []float64{0, 3, 1.5, 0.6}
+	for q := range want {
+		if math.Abs(got[q]-want[q]) > 1e-12 {
+			t.Errorf("E_NS[d_%d] = %g, want %g", q, got[q], want[q])
+		}
+	}
+}
+
+func TestExpectedESByDegree(t *testing.T) {
+	hist := []int{0, 10, 0, 0}
+	got := ExpectedESByDegree(hist, 0.2)
+	// degree-1 nodes survive with probability pe.
+	if math.Abs(got[1]-10*0.2) > 1e-12 {
+		t.Errorf("E_ES[d_1] = %g, want 2", got[1])
+	}
+}
+
+func TestLemma1Crossover(t *testing.T) {
+	// For q above the crossover, E_ES > E_NS; below it, E_ES < E_NS.
+	pv, pe := 0.3, 0.1
+	qc := CrossoverDegree(pv, pe)
+	if qc <= 0 {
+		t.Fatalf("crossover %g not positive", qc)
+	}
+	hist := make([]int, 60)
+	for q := 1; q < 60; q++ {
+		hist[q] = 100
+	}
+	ns := ExpectedNSByDegree(hist, pv)
+	es := ExpectedESByDegree(hist, pe)
+	for q := 1; q < 60; q++ {
+		switch {
+		case float64(q) > qc+1e-9 && es[q] <= ns[q]:
+			t.Errorf("q=%d > crossover %.2f but E_ES=%g ≤ E_NS=%g", q, qc, es[q], ns[q])
+		case float64(q) < qc-1e-9 && es[q] >= ns[q]:
+			t.Errorf("q=%d < crossover %.2f but E_ES=%g ≥ E_NS=%g", q, qc, es[q], ns[q])
+		}
+	}
+}
+
+func TestPropertyCrossoverConsistent(t *testing.T) {
+	// The sign of E_ES − E_NS must flip exactly at the crossover for any
+	// valid probability pair.
+	f := func(a, b uint8) bool {
+		pv := float64(a%98+1) / 100
+		pe := float64(b%98+1) / 100
+		qc := CrossoverDegree(pv, pe)
+		for _, dq := range []float64{0.5, 2} {
+			q := qc * dq
+			if q < 0.01 {
+				continue
+			}
+			esRate := 1 - math.Pow(1-pe, q)
+			switch {
+			case dq > 1 && esRate < pv-1e-9:
+				return false
+			case dq < 1 && esRate > pv+1e-9:
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApproximationEdgeProbability(t *testing.T) {
+	p := ApproximationEdgeProbability(100000, 1, 0.5, 50)
+	if p <= 0 || p > 1 {
+		t.Fatalf("p = %g out of range", p)
+	}
+	// Larger ε (looser approximation) needs fewer edges.
+	loose := ApproximationEdgeProbability(100000, 1, 0.9, 50)
+	if loose > p {
+		t.Errorf("looser ε needs more edges: %g > %g", loose, p)
+	}
+	// Degenerate inputs clamp to 1.
+	if ApproximationEdgeProbability(1, 1, 0.5, 50) != 1 {
+		t.Error("n<2 must clamp to 1")
+	}
+	if ApproximationEdgeProbability(100, 1, 0, 50) != 1 {
+		t.Error("eps=0 must clamp to 1")
+	}
+}
