@@ -9,6 +9,7 @@
 package ensemfdet_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -198,6 +199,105 @@ func BenchmarkGraphBuild(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := bipartite.FromEdges(g.NumUsers(), g.NumMerchants(), edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- streaming / serving layer ---
+
+// benchEdgePool pre-generates distinct random edges so the ingest benchmark
+// times only Append (dedup + log + version), not edge generation.
+func benchEdgePool(n int) []bipartite.Edge {
+	rng := rand.New(rand.NewSource(17))
+	seen := make(map[uint64]struct{}, n)
+	pool := make([]bipartite.Edge, 0, n)
+	for len(pool) < n {
+		e := bipartite.Edge{U: uint32(rng.Intn(1 << 20)), V: uint32(rng.Intn(1 << 18))}
+		k := uint64(e.U)<<32 | uint64(e.V)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		pool = append(pool, e)
+	}
+	return pool
+}
+
+// BenchmarkStreamIngest measures dynamic-graph ingest throughput in batches
+// of 1024 fresh edges; the edges/s metric is the daemon's sustained write
+// capacity per core.
+func BenchmarkStreamIngest(b *testing.B) {
+	const batch = 1024
+	pool := benchEdgePool(1 << 18)
+	sg := ensemfdet.NewStreamGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (i * batch) % (len(pool) - batch)
+		if i > 0 && off == 0 {
+			// Pool exhausted: restart on a fresh graph outside the metric's
+			// meaning (still timed; amortized away for large b.N).
+			sg = ensemfdet.NewStreamGraph()
+		}
+		sg.Append(pool[off : off+batch])
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "edges/s")
+}
+
+// BenchmarkStreamSnapshot measures the copy-on-snapshot CSR build that a
+// cold detection pays after each ingest batch.
+func BenchmarkStreamSnapshot(b *testing.B) {
+	sg := ensemfdet.NewStreamGraph()
+	sg.Append(benchEdgePool(1 << 17))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Bump the version so every iteration rebuilds instead of hitting
+		// the snapshot cache.
+		sg.AppendEdge(uint32(1<<21+i), 0)
+		if snap, _ := sg.Snapshot(); snap.NumEdges() == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}
+
+// benchEngine returns a detect engine over an ingested bench-scale graph.
+func benchEngine(b *testing.B) *ensemfdet.DetectEngine {
+	b.Helper()
+	g := benchGraph(b)
+	sg := ensemfdet.NewStreamGraph()
+	sg.Append(g.EdgeList())
+	return ensemfdet.NewDetectEngine(sg, ensemfdet.EngineOptions{})
+}
+
+// BenchmarkDetectCold measures a cache-miss detection: every iteration uses
+// a distinct seed, forcing a full ensemble run (the latency a client sees
+// the first time it queries a fresh graph version).
+func BenchmarkDetectCold(b *testing.B) {
+	e := benchEngine(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := ensemfdet.DetectParams{NumSamples: 16, SampleRatio: 0.1, Seed: int64(i + 1)}
+		if _, err := e.Detect(ctx, p, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectCached measures the steady-state query path: same graph
+// version, same config, any threshold — a map lookup plus an O(nodes)
+// threshold scan. The cold/cached ratio is the serving layer's whole point.
+func BenchmarkDetectCached(b *testing.B) {
+	e := benchEngine(b)
+	ctx := context.Background()
+	p := ensemfdet.DetectParams{NumSamples: 16, SampleRatio: 0.1, Seed: 1}
+	if _, err := e.Detect(ctx, p, 8); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Detect(ctx, p, 1+i%16); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -35,7 +35,7 @@ func run() error {
 		output   = flag.String("output", "", "output file (default stdout)")
 		n        = flag.Int("N", 80, "number of sampled subgraphs")
 		s        = flag.Float64("S", 0.1, "sample ratio in (0,1]")
-		T        = flag.Int("T", 0, "vote threshold (default N/2)")
+		T        = flag.Int("T", -1, "vote threshold; negative means N/2, 0 clamps to 1")
 		sampler  = flag.String("sampler", "RES", "sampling method: RES, ONS-user, ONS-merchant, TNS")
 		seed     = flag.Int64("seed", 1, "random seed")
 		fixedK   = flag.Int("fix-k", 0, "disable auto-truncation; detect exactly K blocks per sample")
@@ -47,19 +47,17 @@ func run() error {
 		flag.Usage()
 		return fmt.Errorf("-input is required")
 	}
-	if *T == 0 {
+	if *T < 0 {
 		*T = *n / 2
 	}
-
-	g, err := ensemfdet.ReadGraphFile(*input)
-	if err != nil {
-		return err
-	}
-	if *verbose {
-		fmt.Fprintf(os.Stderr, "loaded %d users, %d merchants, %d edges\n",
-			g.NumUsers(), g.NumMerchants(), g.NumEdges())
+	// Clamp to the minimum meaningful threshold so the header reports the
+	// value actually applied (vote aggregation requires at least one vote).
+	if *T < 1 {
+		*T = 1
 	}
 
+	// Validate the sampler name and S range before touching the input, so a
+	// typo'd flag fails instantly instead of after parsing a huge file.
 	det, err := ensemfdet.NewDetector(ensemfdet.Config{
 		Sampler:     ensemfdet.SamplerKind(*sampler),
 		NumSamples:  *n,
@@ -70,6 +68,15 @@ func run() error {
 	})
 	if err != nil {
 		return err
+	}
+
+	g, err := ensemfdet.ReadGraphFile(*input)
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "loaded %d users, %d merchants, %d edges\n",
+			g.NumUsers(), g.NumMerchants(), g.NumEdges())
 	}
 
 	start := time.Now()

@@ -24,6 +24,7 @@ package ensemfdet
 import (
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 
 	"ensemfdet/internal/bipartite"
@@ -31,6 +32,8 @@ import (
 	"ensemfdet/internal/density"
 	"ensemfdet/internal/fdet"
 	"ensemfdet/internal/sampling"
+	"ensemfdet/internal/serve"
+	"ensemfdet/internal/stream"
 )
 
 // Graph is an immutable bipartite "who buy-from where" purchase graph.
@@ -63,6 +66,30 @@ func ReadGraphFile(path string) (*Graph, error) {
 	}
 	defer f.Close()
 	return ReadGraph(f)
+}
+
+// ReadGraphFileMax reads an edge-list file, rejecting any node id above
+// maxID. Ids are dense indices — graph memory scales with the largest id,
+// not the edge count — so use this for untrusted inputs.
+func ReadGraphFileMax(path string, maxID uint32) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ensemfdet: %w", err)
+	}
+	defer f.Close()
+	return bipartite.ReadEdgeListMax(f, maxID)
+}
+
+// ReadEdgesFile parses an edge-list file into a raw edge slice without
+// building a graph, rejecting node ids above maxID — the right shape for
+// feeding a StreamGraph, which dedups and builds snapshots itself.
+func ReadEdgesFile(path string, maxID uint32) ([]Edge, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ensemfdet: %w", err)
+	}
+	defer f.Close()
+	return bipartite.ReadEdgesMax(f, maxID)
 }
 
 // WriteGraph writes g as a text edge list.
@@ -166,7 +193,7 @@ func NewDetector(cfg Config) (*Detector, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.SampleRatio < 0 || cfg.SampleRatio > 1 {
+	if !core.ValidSampleRatio(cfg.SampleRatio) {
 		return nil, fmt.Errorf("ensemfdet: sample ratio S must be in (0,1], got %g", cfg.SampleRatio)
 	}
 	return &Detector{cfg: cfg, method: m}, nil
@@ -235,3 +262,47 @@ func DetectBlocks(g *Graph, cfg Config) []Block {
 func DensityScore(g *Graph, cfg Config) float64 {
 	return density.Score(g, cfg.metric())
 }
+
+// --- streaming / serving layer ---
+//
+// The batch API above runs one ensemble per call. The streaming layer below
+// is the daemon-shaped alternative: ingest purchase edges incrementally into
+// a StreamGraph, then answer detection queries through a DetectEngine that
+// caches ensemble votes per (graph version, config) — so threshold sweeps,
+// re-queries and rankings against an unchanged graph are cache hits, and new
+// edges invalidate exactly by bumping the version. cmd/ensemfdetd wraps the
+// whole stack in an HTTP daemon.
+
+// MaxNodeID is the largest node id the graph substrate supports; ids are
+// dense uint32 indices and CSR offsets index by id+1.
+const MaxNodeID = bipartite.MaxNodeID
+
+// StreamGraph is a mutable, concurrency-safe dynamic bipartite graph with a
+// monotonic version counter and cached immutable snapshots.
+type StreamGraph = stream.Graph
+
+// NewStreamGraph returns an empty dynamic graph at version 0.
+func NewStreamGraph() *StreamGraph { return stream.New() }
+
+// DetectEngine serves detection queries over a StreamGraph from a vote
+// cache, single-flighting concurrent identical requests.
+type DetectEngine = serve.Engine
+
+// DetectParams selects one ensemble configuration for the engine; the zero
+// value is the paper's main setting (RES, N = 80, S = 0.1).
+type DetectParams = serve.Params
+
+// EngineOptions bounds the engine's concurrency and cache size.
+type EngineOptions = serve.Options
+
+// EngineStats reports graph size, version and cache counters.
+type EngineStats = serve.Stats
+
+// NewDetectEngine returns an engine serving detections over src.
+func NewDetectEngine(src *StreamGraph, opts EngineOptions) *DetectEngine {
+	return serve.NewEngine(src, opts)
+}
+
+// NewHTTPHandler returns the ensemfdetd HTTP API (POST /v1/edges,
+// POST /v1/detect, GET /v1/votes, GET /v1/stats, GET /healthz) over e.
+func NewHTTPHandler(e *DetectEngine) http.Handler { return serve.NewHandler(e) }

@@ -2,6 +2,7 @@ package ensemfdet
 
 import (
 	"bytes"
+	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -84,6 +85,12 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if _, err := NewDetector(Config{SampleRatio: 2}); err == nil {
 		t.Error("S=2 accepted")
+	}
+	if _, err := NewDetector(Config{SampleRatio: -0.5}); err == nil {
+		t.Error("S=-0.5 accepted")
+	}
+	if _, err := NewDetector(Config{SampleRatio: math.NaN()}); err == nil {
+		t.Error("S=NaN accepted")
 	}
 	for _, k := range []SamplerKind{RandomEdgeSampling, UserNodeSampling, MerchantNodeSampling, TwoSideNodeSampling} {
 		if _, err := NewDetector(Config{Sampler: k}); err != nil {

@@ -1,0 +1,3 @@
+module ensemfdet
+
+go 1.24

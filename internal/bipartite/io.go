@@ -15,9 +15,49 @@ import (
 // array; see writeBinaryHeader.
 
 // ReadEdgeList parses a text edge list into a Graph. Side sizes are inferred
-// from the largest ids present.
+// from the largest ids present. Ids up to MaxNodeID are accepted.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
-	b := NewBuilder()
+	return ReadEdgeListMax(r, MaxNodeID)
+}
+
+// MaxNodeID is the largest node id ReadEdgeList accepts. Ids are dense
+// indices, so graph memory is proportional to the largest id present; the
+// very top of the uint32 range is additionally excluded because CSR offset
+// arithmetic indexes by id+1.
+const MaxNodeID = 1<<32 - 2
+
+// ReadEdgeListMax parses a text edge list, rejecting any node id above
+// maxID. The parsed edge slice is handed to the CSR builder without an
+// intermediate copy, so peak memory is one edge slice plus the graph.
+func ReadEdgeListMax(r io.Reader, maxID uint32) (*Graph, error) {
+	edges, err := ReadEdgesMax(r, maxID)
+	if err != nil {
+		return nil, err
+	}
+	numUsers, numMerchants := 0, 0
+	for _, e := range edges {
+		if int(e.U) >= numUsers {
+			numUsers = int(e.U) + 1
+		}
+		if int(e.V) >= numMerchants {
+			numMerchants = int(e.V) + 1
+		}
+	}
+	return buildFromEdges(numUsers, numMerchants, edges), nil
+}
+
+// ReadEdgesMax parses the text edge-list format into a raw edge slice
+// without building a graph — the right entry point when the edges feed a
+// dynamic ingest path rather than an immediate CSR. Any node id above maxID
+// is rejected; callers ingesting untrusted files should pass a bound
+// matching the memory they are willing to spend, since ids are dense
+// indices and a single line naming id 2^32-2 is 20 bytes of input that
+// commits downstream consumers to gigabytes of offset arrays.
+func ReadEdgesMax(r io.Reader, maxID uint32) ([]Edge, error) {
+	if maxID > MaxNodeID {
+		maxID = MaxNodeID
+	}
+	var edges []Edge
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	lineNo := 0
@@ -39,12 +79,15 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bipartite: line %d: bad merchant id %q: %w", lineNo, fields[1], err)
 		}
-		b.AddEdge(uint32(u), uint32(v))
+		if u > uint64(maxID) || v > uint64(maxID) {
+			return nil, fmt.Errorf("bipartite: line %d: node id exceeds maximum %d", lineNo, maxID)
+		}
+		edges = append(edges, Edge{U: uint32(u), V: uint32(v)})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("bipartite: reading edge list: %w", err)
 	}
-	return b.Build(), nil
+	return edges, nil
 }
 
 // WriteEdgeList writes g in the text edge-list format.

@@ -84,8 +84,17 @@ func (c Config) parallelism() int {
 	return c.Parallelism
 }
 
+// ValidSampleRatio reports whether s is an acceptable sample ratio: 0 (use
+// the default) or a value in (0,1]. The positive form of the range check
+// also rejects NaN, which both halves of a naive `< 0 || > 1` miss — NaN
+// would otherwise panic deep in the sampler. Every layer that validates S
+// (facade, core, serve) must share this predicate so they cannot diverge.
+func ValidSampleRatio(s float64) bool {
+	return s == 0 || (s > 0 && s <= 1)
+}
+
 func (c Config) validate() error {
-	if c.SampleRatio < 0 || c.SampleRatio > 1 {
+	if !ValidSampleRatio(c.SampleRatio) {
 		return fmt.Errorf("core: sample ratio S must be in (0,1], got %g", c.SampleRatio)
 	}
 	if c.NumSamples < 0 {
@@ -221,6 +230,51 @@ func Run(g *bipartite.Graph, cfg Config) (*Output, error) {
 	}
 	results := make([]sampleResult, n)
 
+	// A panic in a worker (sampler or FDET on a degenerate subgraph) must
+	// not crash the process: long-running callers like the serving daemon
+	// have a recover around Run, but that cannot reach goroutines spawned
+	// here. Each job recovers individually — the worker keeps draining the
+	// channel so the producer never blocks — and the first panic is
+	// reported as Run's error.
+	var (
+		panicMu  sync.Mutex
+		panicErr error
+	)
+	runSample := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if panicErr == nil {
+					panicErr = fmt.Errorf("core: sample %d panicked: %v", i, r)
+				}
+				panicMu.Unlock()
+			}
+		}()
+		start := time.Now()
+		// Each sample gets its own rng derived from (Seed, i) so
+		// results do not depend on goroutine scheduling.
+		rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)*2_654_435_761 + 1))
+		sg := method.Sample(g, ratio, rng)
+		opts := cfg.FDet
+		opts.MerchantWeights = make([]float64, sg.NumMerchants())
+		for lv := range opts.MerchantWeights {
+			opts.MerchantWeights[lv] = parentWeights[sg.ParentMerchant(uint32(lv))]
+		}
+		res := fdet.Detect(sg.Graph, opts)
+		r := sampleResult{kHat: res.TruncatedAt}
+		for _, lu := range res.DetectedUsers() {
+			r.users = append(r.users, sg.ParentUser(lu))
+		}
+		for _, lv := range res.DetectedMerchants() {
+			r.merchants = append(r.merchants, sg.ParentMerchant(lv))
+		}
+		if cfg.CollectScores {
+			r.scores = res.Scores
+		}
+		r.work = time.Since(start)
+		results[i] = r
+	}
+
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 	workers := cfg.parallelism()
@@ -229,29 +283,7 @@ func Run(g *bipartite.Graph, cfg Config) (*Output, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				start := time.Now()
-				// Each sample gets its own rng derived from (Seed, i) so
-				// results do not depend on goroutine scheduling.
-				rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)*2_654_435_761 + 1))
-				sg := method.Sample(g, ratio, rng)
-				opts := cfg.FDet
-				opts.MerchantWeights = make([]float64, sg.NumMerchants())
-				for lv := range opts.MerchantWeights {
-					opts.MerchantWeights[lv] = parentWeights[sg.ParentMerchant(uint32(lv))]
-				}
-				res := fdet.Detect(sg.Graph, opts)
-				r := sampleResult{kHat: res.TruncatedAt}
-				for _, lu := range res.DetectedUsers() {
-					r.users = append(r.users, sg.ParentUser(lu))
-				}
-				for _, lv := range res.DetectedMerchants() {
-					r.merchants = append(r.merchants, sg.ParentMerchant(lv))
-				}
-				if cfg.CollectScores {
-					r.scores = res.Scores
-				}
-				r.work = time.Since(start)
-				results[i] = r
+				runSample(i)
 			}
 		}()
 	}
@@ -260,6 +292,9 @@ func Run(g *bipartite.Graph, cfg Config) (*Output, error) {
 	}
 	close(jobs)
 	wg.Wait()
+	if panicErr != nil {
+		return nil, panicErr
+	}
 
 	out := &Output{
 		Votes: Votes{

@@ -3,6 +3,7 @@ package core
 import (
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -35,6 +36,25 @@ func plantedGraph(seed int64, bgUsers, bgMerchants, bgEdges, numBlocks, blockUse
 
 func testConfig() Config {
 	return Config{NumSamples: 12, SampleRatio: 0.3, Seed: 1}
+}
+
+// panicSampler simulates a bug deep in the parallel phase.
+type panicSampler struct{}
+
+func (panicSampler) Name() string { return "panic" }
+func (panicSampler) Sample(*bipartite.Graph, float64, *rand.Rand) *bipartite.Subgraph {
+	panic("boom")
+}
+
+func TestRunSurvivesWorkerPanic(t *testing.T) {
+	// A panic inside a worker goroutine must come back as Run's error, not
+	// kill the process: long-running daemons recover around Run, but that
+	// cannot reach goroutines Run spawns itself.
+	g, _ := plantedGraph(1, 50, 50, 100, 1, 5, 5)
+	_, err := Run(g, Config{Method: panicSampler{}, NumSamples: 4, SampleRatio: 0.5})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want a recovered panic error", err)
+	}
 }
 
 func TestRunRecoversPlantedFraud(t *testing.T) {
@@ -180,6 +200,10 @@ func TestConfigDefaults(t *testing.T) {
 	}
 	if got := (Config{NumSamples: 10, SampleRatio: 0.1}).RepetitionRate(); got != 1.0 {
 		t.Errorf("R = %g, want 1", got)
+	}
+	// The zero value inherits both defaults: R = 0.1 × 80 = 8 (Table II).
+	if got := c.RepetitionRate(); got != 8.0 {
+		t.Errorf("zero-value R = %g, want 8", got)
 	}
 }
 

@@ -1,0 +1,461 @@
+// Package serve implements the detection job engine behind the ensemfdetd
+// daemon: it turns the batch ensemble of internal/core into a query-serving
+// layer over a dynamic internal/stream graph.
+//
+// The key observation — the one the paper sells as ENSEMFDET's
+// practicability edge — is that the expensive parallel phase (sampling +
+// FDET + vote aggregation) depends only on the graph and the ensemble
+// configuration, never on the vote threshold T. The engine therefore caches
+// core.Votes keyed on (graph version, config fingerprint): any threshold
+// sweep, top-K ranking, or repeated detect against an unchanged graph is a
+// cache hit that costs a map lookup plus an O(nodes) scan. Concurrent
+// requests for the same key are single-flighted into one ensemble run, and
+// distinct cold keys share a bounded worker pool so a burst of queries
+// cannot oversubscribe the host.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"ensemfdet/internal/bipartite"
+	"ensemfdet/internal/core"
+	"ensemfdet/internal/sampling"
+	"ensemfdet/internal/stream"
+)
+
+// Params selects one ensemble configuration. The zero value reproduces the
+// paper's main setting (RES, N = 80, S = 0.1, seed 0). Two Params that
+// normalize to the same values share a cache entry.
+type Params struct {
+	// Sampler is the structural sampling method name understood by
+	// sampling.ByName ("RES", "ONS-user", "ONS-merchant", "TNS"); empty
+	// means RES.
+	Sampler string
+	// NumSamples is the ensemble size N (0 → core.DefaultN).
+	NumSamples int
+	// SampleRatio is S ∈ (0,1] (0 → core.DefaultS).
+	SampleRatio float64
+	// Seed fixes the ensemble's randomness.
+	Seed int64
+	// Parallelism caps the per-run worker pool (0 → GOMAXPROCS). It is
+	// deliberately excluded from the cache fingerprint: results are
+	// deterministic in it.
+	Parallelism int
+}
+
+func (p Params) normalize() Params {
+	if p.Sampler == "" {
+		p.Sampler = "RES"
+	}
+	if p.NumSamples <= 0 {
+		p.NumSamples = core.DefaultN
+	}
+	if p.SampleRatio <= 0 {
+		p.SampleRatio = core.DefaultS
+	}
+	return p
+}
+
+// ErrInvalidParams tags parameter validation failures so transport layers
+// can map them to client errors (HTTP 400) via errors.Is.
+var ErrInvalidParams = errors.New("invalid detection parameters")
+
+// Validate checks the sampler name and numeric ranges without touching any
+// graph — cheap enough to run before a request body is even fully trusted.
+// It inspects the raw (pre-normalization) values so that a negative, huge,
+// or NaN sample ratio is rejected rather than silently replaced with the
+// default.
+func (p Params) Validate() error {
+	if _, err := sampling.ByName(p.normalize().Sampler); err != nil {
+		return fmt.Errorf("serve: %w: %v", ErrInvalidParams, err)
+	}
+	if !core.ValidSampleRatio(p.SampleRatio) {
+		return fmt.Errorf("serve: %w: sample ratio S must be in (0,1], got %g", ErrInvalidParams, p.SampleRatio)
+	}
+	if p.NumSamples < 0 || p.NumSamples > MaxEnsembleSize {
+		return fmt.Errorf("serve: %w: number of samples N must be in [0,%d], got %d",
+			ErrInvalidParams, MaxEnsembleSize, p.NumSamples)
+	}
+	return nil
+}
+
+// MaxEnsembleSize caps the per-request ensemble size N. The paper's largest
+// setting is N = 200; the cap exists because ensemble memory and work are
+// O(N), and the detect endpoint must not let one request allocate
+// per-sample state for an arbitrary N.
+const MaxEnsembleSize = 10_000
+
+// Fingerprint returns a canonical string identifying the detection-relevant
+// parameters; it is the config half of the vote-cache key.
+func (p Params) Fingerprint() string {
+	n := p.normalize()
+	return n.Sampler + "|N=" + strconv.Itoa(n.NumSamples) +
+		"|S=" + strconv.FormatFloat(n.SampleRatio, 'g', -1, 64) +
+		"|seed=" + strconv.FormatInt(n.Seed, 10)
+}
+
+// Options configures an Engine.
+type Options struct {
+	// MaxConcurrent bounds how many ensemble runs may execute at once
+	// across all cache keys (0 → 2). Each run itself parallelizes over
+	// samples, so a small number is usually right.
+	MaxConcurrent int
+	// MaxCacheEntries bounds the vote cache; the oldest entries are
+	// evicted first (0 → 32). Votes cost O(|U|+|V|) ints per entry.
+	MaxCacheEntries int
+	// MaxNodeID bounds the node ids the ingest path accepts (0 → 1<<26;
+	// values above bipartite.MaxNodeID are clamped to it, since CSR offset
+	// arithmetic indexes by id+1). Graph and vote memory is proportional
+	// to the largest id, not the edge count, so without a cap a single
+	// tiny request naming id 2^32-2 would force multi-gigabyte allocations
+	// on the next detection.
+	MaxNodeID uint32
+}
+
+func (o Options) maxConcurrent() int {
+	if o.MaxConcurrent <= 0 {
+		return 2
+	}
+	return o.MaxConcurrent
+}
+
+func (o Options) maxCacheEntries() int {
+	if o.MaxCacheEntries <= 0 {
+		return 32
+	}
+	return o.MaxCacheEntries
+}
+
+func (o Options) maxNodeID() uint32 {
+	if o.MaxNodeID == 0 {
+		return 1 << 26
+	}
+	if o.MaxNodeID > bipartite.MaxNodeID {
+		return bipartite.MaxNodeID
+	}
+	return o.MaxNodeID
+}
+
+// MaxNodeID returns the effective ingest id bound (the transport layer
+// enforces it per batch).
+func (e *Engine) MaxNodeID() uint32 { return e.opts.maxNodeID() }
+
+type cacheKey struct {
+	version uint64
+	config  string
+}
+
+type entry struct {
+	done  chan struct{} // closed when votes/err are set
+	votes *core.Votes
+	err   error
+}
+
+// Engine serves detection queries over a dynamic graph from a vote cache.
+// It is safe for concurrent use.
+type Engine struct {
+	src  *stream.Graph
+	opts Options
+	sem  chan struct{} // bounds concurrent ensemble runs
+
+	mu    sync.Mutex
+	cache map[cacheKey]*entry
+	order []cacheKey // insertion order, for FIFO eviction
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	runs   atomic.Uint64 // completed ensemble runs (cold computations)
+}
+
+// NewEngine returns an Engine serving detections over src.
+func NewEngine(src *stream.Graph, opts Options) *Engine {
+	return &Engine{
+		src:   src,
+		opts:  opts,
+		sem:   make(chan struct{}, opts.maxConcurrent()),
+		cache: make(map[cacheKey]*entry),
+	}
+}
+
+// VoteSet is a cached ensemble outcome pinned to the graph version that
+// produced it.
+type VoteSet struct {
+	// Votes is the shared cached vote vector; callers must treat it as
+	// read-only.
+	Votes *core.Votes
+	// GraphVersion is the stream version the ensemble ran against.
+	GraphVersion uint64
+	// Cached reports whether this request was answered from cache (true)
+	// or had to execute the ensemble (false). Requests that coalesce onto
+	// another in-flight run count as cached.
+	Cached bool
+}
+
+// Votes returns the ensemble vote counts for the current graph version under
+// p, computing them at most once per (version, config) key. Concurrent calls
+// with the same key block on a single underlying run. ctx cancels the wait,
+// not the computation — an abandoned run still completes and populates the
+// cache for the next caller.
+func (e *Engine) Votes(ctx context.Context, p Params) (VoteSet, error) {
+	if err := p.Validate(); err != nil {
+		return VoteSet{}, err
+	}
+	snap, version := e.src.Snapshot()
+	key := cacheKey{version: version, config: p.Fingerprint()}
+
+	e.mu.Lock()
+	ent, ok := e.cache[key]
+	if ok {
+		e.mu.Unlock()
+		e.hits.Add(1)
+	} else {
+		ent = &entry{done: make(chan struct{})}
+		e.cache[key] = ent
+		e.order = append(e.order, key)
+		e.evictLocked()
+		e.mu.Unlock()
+		e.misses.Add(1)
+		go e.run(key, ent, snap, p)
+	}
+
+	select {
+	case <-ent.done:
+	case <-ctx.Done():
+		return VoteSet{}, ctx.Err()
+	}
+	if ent.err != nil {
+		return VoteSet{}, ent.err
+	}
+	return VoteSet{Votes: ent.votes, GraphVersion: version, Cached: ok}, nil
+}
+
+// evictLocked drops the oldest completed cache entries beyond the
+// configured bound. In-flight entries are never evicted — dropping one
+// would let a repeat request launch a duplicate of a run that is still
+// executing — so the cache may transiently exceed the bound while many
+// distinct cold keys are computing. Waiters holding an evicted *entry
+// still see its result; it just stops being findable.
+func (e *Engine) evictLocked() {
+	excess := len(e.order) - e.opts.maxCacheEntries()
+	if excess <= 0 {
+		return
+	}
+	kept := e.order[:0]
+	for _, k := range e.order {
+		ent := e.cache[k]
+		if excess > 0 && ent != nil && entryDone(ent) {
+			delete(e.cache, k)
+			excess--
+			continue
+		}
+		kept = append(kept, k)
+	}
+	e.order = kept
+}
+
+func entryDone(ent *entry) bool {
+	select {
+	case <-ent.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (e *Engine) run(key cacheKey, ent *entry, snap *bipartite.Graph, p Params) {
+	e.sem <- struct{}{}
+	defer func() { <-e.sem }()
+	defer close(ent.done)
+	// A failed run must not be negatively cached: current waiters get the
+	// error, but the entry is dropped so the next request retries instead
+	// of replaying a possibly transient failure forever on a static graph.
+	defer func() {
+		if ent.err == nil {
+			return
+		}
+		e.mu.Lock()
+		if e.cache[key] == ent {
+			delete(e.cache, key)
+			for i, k := range e.order {
+				if k == key {
+					e.order = append(e.order[:i], e.order[i+1:]...)
+					break
+				}
+			}
+		}
+		e.mu.Unlock()
+	}()
+	// A panic in the ensemble must surface as a request error, not kill
+	// the daemon: this goroutine has no other recover between it and the
+	// runtime.
+	defer func() {
+		if r := recover(); r != nil {
+			ent.err = fmt.Errorf("serve: ensemble run panicked: %v", r)
+		}
+	}()
+
+	n := p.normalize()
+	method, err := sampling.ByName(n.Sampler)
+	if err != nil {
+		ent.err = err
+		return
+	}
+	out, err := core.Run(snap, core.Config{
+		Method:      method,
+		NumSamples:  n.NumSamples,
+		SampleRatio: n.SampleRatio,
+		Seed:        n.Seed,
+		Parallelism: p.Parallelism,
+	})
+	if err != nil {
+		ent.err = err
+		return
+	}
+	ent.votes = &out.Votes
+	e.runs.Add(1)
+}
+
+// Detection is a thresholded fraud set served from cached votes.
+type Detection struct {
+	Users        []uint32
+	Merchants    []uint32
+	Threshold    int
+	NumSamples   int
+	GraphVersion uint64
+	Cached       bool
+}
+
+// Detect answers one MVA query at threshold t. t < 0 picks the paper's
+// default N/2; t = 0 is clamped to 1 (a node needs at least one vote to be
+// detected) and the clamped value is reported, so the response threshold is
+// always the one actually applied. The threshold is applied at query time
+// against cached votes, so sweeping t is free once any one threshold has
+// been asked.
+func (e *Engine) Detect(ctx context.Context, p Params, t int) (Detection, error) {
+	vs, err := e.Votes(ctx, p)
+	if err != nil {
+		return Detection{}, err
+	}
+	if t < 0 {
+		t = vs.Votes.NumSamples / 2
+	}
+	if t < 1 {
+		t = 1
+	}
+	return Detection{
+		Users:        vs.Votes.AcceptUsers(t),
+		Merchants:    vs.Votes.AcceptMerchants(t),
+		Threshold:    t,
+		NumSamples:   vs.Votes.NumSamples,
+		GraphVersion: vs.GraphVersion,
+		Cached:       vs.Cached,
+	}, nil
+}
+
+// NodeVotes pairs a node id with its vote count for ranked output.
+type NodeVotes struct {
+	ID    uint32 `json:"id"`
+	Votes int    `json:"votes"`
+}
+
+// rankVotes returns nodes with at least minVotes votes, sorted by votes
+// descending then id ascending, truncated to top entries (top <= 0 → all).
+func rankVotes(votes []int, minVotes, top int) []NodeVotes {
+	if minVotes < 1 {
+		minVotes = 1
+	}
+	out := make([]NodeVotes, 0, 64)
+	for id, n := range votes {
+		if n >= minVotes {
+			out = append(out, NodeVotes{ID: uint32(id), Votes: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Votes != out[j].Votes {
+			return out[i].Votes > out[j].Votes
+		}
+		return out[i].ID < out[j].ID
+	})
+	if top > 0 && len(out) > top {
+		out = out[:top]
+	}
+	return out
+}
+
+// Ranking is a ranked vote listing for both sides of the graph.
+type Ranking struct {
+	Users        []NodeVotes
+	Merchants    []NodeVotes
+	NumSamples   int
+	GraphVersion uint64
+	Cached       bool
+}
+
+// Rank returns the top-K voted users and merchants with at least minVotes
+// votes, served from the same cache as Detect.
+func (e *Engine) Rank(ctx context.Context, p Params, minVotes, top int) (Ranking, error) {
+	vs, err := e.Votes(ctx, p)
+	if err != nil {
+		return Ranking{}, err
+	}
+	return Ranking{
+		Users:        rankVotes(vs.Votes.User, minVotes, top),
+		Merchants:    rankVotes(vs.Votes.Merchant, minVotes, top),
+		NumSamples:   vs.Votes.NumSamples,
+		GraphVersion: vs.GraphVersion,
+		Cached:       vs.Cached,
+	}, nil
+}
+
+// Stats is a point-in-time engine and graph summary; the cache counters are
+// what lets operators (and the end-to-end tests) verify that threshold
+// sweeps do not trigger recomputation.
+type Stats struct {
+	Graph        stream.Stats `json:"graph"`
+	CacheEntries int          `json:"cache_entries"`
+	CacheHits    uint64       `json:"cache_hits"`
+	CacheMisses  uint64       `json:"cache_misses"`
+	EnsembleRuns uint64       `json:"ensemble_runs"`
+	InFlight     int          `json:"in_flight"`
+}
+
+// Stats returns current counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	entries := len(e.cache)
+	e.mu.Unlock()
+	return Stats{
+		Graph:        e.src.Stats(),
+		CacheEntries: entries,
+		CacheHits:    e.hits.Load(),
+		CacheMisses:  e.misses.Load(),
+		EnsembleRuns: e.runs.Load(),
+		InFlight:     len(e.sem),
+	}
+}
+
+// Source exposes the underlying dynamic graph. Ingest should go through
+// Ingest, which enforces the node-id bound; Source is for reads and for
+// callers that have validated ids themselves.
+func (e *Engine) Source() *stream.Graph { return e.src }
+
+// Ingest appends a batch of edges after enforcing the configured node-id
+// bound. It is the single ingest chokepoint: ids are dense indices, so
+// graph and vote memory scale with the largest id, and one edge naming id
+// 2^32-2 would commit the next snapshot to multi-gigabyte allocations.
+func (e *Engine) Ingest(edges []bipartite.Edge) (stream.AppendResult, error) {
+	maxID := e.opts.maxNodeID()
+	for i, ed := range edges {
+		if ed.U > maxID || ed.V > maxID {
+			return stream.AppendResult{}, fmt.Errorf("serve: %w: edge %d: node id exceeds the configured maximum %d",
+				ErrInvalidParams, i, maxID)
+		}
+	}
+	return e.src.Append(edges), nil
+}

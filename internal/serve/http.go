@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"ensemfdet/internal/bipartite"
+)
+
+// HTTP JSON API of the ensemfdetd daemon. All endpoints speak JSON; errors
+// are {"error": "..."} with a 4xx/5xx status.
+//
+//	POST /v1/edges   {"edges": [[u,v], ...]}          batched ingest
+//	POST /v1/detect  {"t":40,"n":80,"s":0.1,...}      MVA detection
+//	GET  /v1/votes   ?n=&s=&sampler=&seed=&min=&top=  ranked vote counts
+//	GET  /v1/stats                                    graph + cache counters
+//	GET  /healthz                                     liveness
+//
+// Request bodies are capped at maxBodyBytes to keep a malicious client from
+// ballooning the heap; batch several /v1/edges calls for larger ingests.
+const maxBodyBytes = 64 << 20
+
+// NewHandler returns the daemon's HTTP routing handler over e. It is what
+// cmd/ensemfdetd mounts and what the end-to-end tests boot under httptest.
+func NewHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/edges", func(w http.ResponseWriter, r *http.Request) { handleEdges(e, w, r) })
+	mux.HandleFunc("POST /v1/detect", func(w http.ResponseWriter, r *http.Request) { handleDetect(e, w, r) })
+	mux.HandleFunc("GET /v1/votes", func(w http.ResponseWriter, r *http.Request) { handleVotes(e, w, r) })
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, e.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	// Reject trailing garbage so a concatenated or truncated payload fails
+	// loudly instead of half-applying.
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return errors.New("bad request body: trailing data after JSON value")
+	}
+	return nil
+}
+
+// bodyErrStatus distinguishes an over-limit body (413, the client should
+// split the batch) from malformed JSON (400, the client should fix it).
+func bodyErrStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+type edgesRequest struct {
+	// Edges is the batch, one [user, merchant] pair per element.
+	Edges [][2]uint32 `json:"edges"`
+}
+
+type edgesResponse struct {
+	Added      int    `json:"added"`
+	Duplicates int    `json:"duplicates"`
+	Version    uint64 `json:"version"`
+	NumUsers   int    `json:"num_users"`
+	NumMerch   int    `json:"num_merchants"`
+	NumEdges   int    `json:"num_edges"`
+}
+
+func handleEdges(e *Engine, w http.ResponseWriter, r *http.Request) {
+	var req edgesRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, bodyErrStatus(err), err)
+		return
+	}
+	if len(req.Edges) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("edges must be a non-empty array of [user, merchant] pairs"))
+		return
+	}
+	batch := make([]bipartite.Edge, len(req.Edges))
+	for i, p := range req.Edges {
+		batch[i] = bipartite.Edge{U: p[0], V: p[1]}
+	}
+	res, err := e.Ingest(batch)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, edgesResponse{
+		Added:      res.Added,
+		Duplicates: res.Duplicates,
+		Version:    res.Version,
+		NumUsers:   res.Stats.NumUsers,
+		NumMerch:   res.Stats.NumMerchants,
+		NumEdges:   res.Stats.NumEdges,
+	})
+}
+
+type detectRequest struct {
+	// T is the MVA vote threshold; null/omitted or negative → N/2.
+	T *int `json:"t"`
+	// N, S, Sampler, Seed mirror serve.Params.
+	N       int     `json:"n"`
+	S       float64 `json:"s"`
+	Sampler string  `json:"sampler"`
+	Seed    int64   `json:"seed"`
+}
+
+func (req detectRequest) params() Params {
+	return Params{Sampler: req.Sampler, NumSamples: req.N, SampleRatio: req.S, Seed: req.Seed}
+}
+
+type detectResponse struct {
+	GraphVersion uint64   `json:"graph_version"`
+	Threshold    int      `json:"threshold"`
+	NumSamples   int      `json:"num_samples"`
+	Cached       bool     `json:"cached"`
+	ElapsedMS    float64  `json:"elapsed_ms"`
+	Users        []uint32 `json:"users"`
+	Merchants    []uint32 `json:"merchants"`
+}
+
+func handleDetect(e *Engine, w http.ResponseWriter, r *http.Request) {
+	var req detectRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, bodyErrStatus(err), err)
+		return
+	}
+	t := -1
+	if req.T != nil {
+		t = *req.T
+	}
+	start := time.Now()
+	det, err := e.Detect(r.Context(), req.params(), t)
+	if err != nil {
+		writeError(w, statusFor(r, err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, detectResponse{
+		GraphVersion: det.GraphVersion,
+		Threshold:    det.Threshold,
+		NumSamples:   det.NumSamples,
+		Cached:       det.Cached,
+		ElapsedMS:    float64(time.Since(start).Microseconds()) / 1000,
+		Users:        emptyNotNull(det.Users),
+		Merchants:    emptyNotNull(det.Merchants),
+	})
+}
+
+type votesResponse struct {
+	GraphVersion uint64      `json:"graph_version"`
+	NumSamples   int         `json:"num_samples"`
+	Cached       bool        `json:"cached"`
+	Users        []NodeVotes `json:"users"`
+	Merchants    []NodeVotes `json:"merchants"`
+}
+
+func handleVotes(e *Engine, w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	p := Params{Sampler: q.Get("sampler")}
+	var err error
+	if p.NumSamples, err = intParam(q.Get("n"), 0); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad n: %w", err))
+		return
+	}
+	if p.SampleRatio, err = floatParam(q.Get("s"), 0); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad s: %w", err))
+		return
+	}
+	seed, err := intParam(q.Get("seed"), 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad seed: %w", err))
+		return
+	}
+	p.Seed = int64(seed)
+	minVotes, err := intParam(q.Get("min"), 1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad min: %w", err))
+		return
+	}
+	top, err := intParam(q.Get("top"), 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad top: %w", err))
+		return
+	}
+	rk, err := e.Rank(r.Context(), p, minVotes, top)
+	if err != nil {
+		writeError(w, statusFor(r, err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, votesResponse{
+		GraphVersion: rk.GraphVersion,
+		NumSamples:   rk.NumSamples,
+		Cached:       rk.Cached,
+		Users:        emptyNotNull(rk.Users),
+		Merchants:    emptyNotNull(rk.Merchants),
+	})
+}
+
+func intParam(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}
+
+func floatParam(s string, def float64) (float64, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// statusFor maps engine errors to HTTP statuses: a canceled request is the
+// client's doing, a validation error is a 400, anything else is a 500.
+func statusFor(r *http.Request, err error) int {
+	if r.Context().Err() != nil {
+		return 499 // client closed request (nginx convention)
+	}
+	if errors.Is(err, ErrInvalidParams) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// emptyNotNull keeps empty result sets serializing as [] rather than null.
+func emptyNotNull[T any](s []T) []T {
+	if s == nil {
+		return []T{}
+	}
+	return s
+}

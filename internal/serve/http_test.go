@@ -1,0 +1,298 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ensemfdet/internal/stream"
+)
+
+// daemon boots the full HTTP stack over an empty dynamic graph, exactly as
+// cmd/ensemfdetd wires it.
+func daemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler(NewEngine(stream.New(), Options{})))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	decodeResponse(t, resp, out)
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	decodeResponse(t, resp, out)
+	return resp.StatusCode
+}
+
+func decodeResponse(t *testing.T, resp *http.Response, out any) {
+	t.Helper()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("bad response %q: %v", raw, err)
+		}
+	}
+}
+
+// fraudBatches builds background traffic plus a planted dense block, split
+// into several ingest batches.
+func fraudBatches() [][][2]uint32 {
+	rng := rand.New(rand.NewSource(42))
+	var background [][2]uint32
+	for i := 0; i < 1500; i++ {
+		background = append(background, [2]uint32{uint32(rng.Intn(300)), uint32(rng.Intn(300))})
+	}
+	var block [][2]uint32
+	for u := 0; u < 20; u++ {
+		for v := 0; v < 10; v++ {
+			block = append(block, [2]uint32{uint32(300 + u), uint32(300 + v)})
+		}
+	}
+	return [][][2]uint32{background[:700], background[700:], block}
+}
+
+// TestDaemonEndToEnd is the acceptance-criteria flow: boot the daemon,
+// ingest edges in batches, detect, sweep three thresholds, and assert via
+// the stats endpoint that the unchanged graph version executed exactly one
+// ensemble run; then ingest again and verify the version bump invalidates
+// the cache.
+func TestDaemonEndToEnd(t *testing.T) {
+	srv := daemon(t)
+
+	var health map[string]string
+	if code := getJSON(t, srv.URL+"/healthz", &health); code != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, health)
+	}
+
+	// Batched ingest: version advances once per effective batch.
+	var lastIngest edgesResponse
+	for i, batch := range fraudBatches() {
+		if code := postJSON(t, srv.URL+"/v1/edges", map[string]any{"edges": batch}, &lastIngest); code != http.StatusOK {
+			t.Fatalf("ingest batch %d: status %d", i, code)
+		}
+		if lastIngest.Version != uint64(i+1) {
+			t.Fatalf("after batch %d version = %d", i, lastIngest.Version)
+		}
+	}
+	if lastIngest.NumUsers < 320 || lastIngest.NumEdges == 0 {
+		t.Fatalf("ingest summary: %+v", lastIngest)
+	}
+
+	detectBody := func(T int) map[string]any {
+		return map[string]any{"t": T, "n": 12, "s": 0.3, "seed": 7}
+	}
+
+	var first detectResponse
+	if code := postJSON(t, srv.URL+"/v1/detect", detectBody(9), &first); code != http.StatusOK {
+		t.Fatalf("detect: status %d", code)
+	}
+	if first.Cached || first.GraphVersion != 3 || first.NumSamples != 12 {
+		t.Fatalf("first detect: %+v", first)
+	}
+	if len(first.Users) == 0 {
+		t.Fatal("planted fraud block not detected")
+	}
+
+	// Threshold sweep: three different T values, all served from cache.
+	sizes := make([]int, 0, 3)
+	for _, T := range []int{3, 6, 12} {
+		var d detectResponse
+		if code := postJSON(t, srv.URL+"/v1/detect", detectBody(T), &d); code != http.StatusOK {
+			t.Fatalf("detect T=%d: status %d", T, code)
+		}
+		if !d.Cached {
+			t.Errorf("detect T=%d was not served from cache", T)
+		}
+		if d.Threshold != T {
+			t.Errorf("threshold echoed as %d, want %d", d.Threshold, T)
+		}
+		sizes = append(sizes, len(d.Users))
+	}
+	if !(sizes[0] >= sizes[1] && sizes[1] >= sizes[2]) {
+		t.Errorf("detection sets must shrink as T grows: %v", sizes)
+	}
+
+	// The votes endpoint shares the same cache entry.
+	var votes votesResponse
+	if code := getJSON(t, srv.URL+"/v1/votes?n=12&s=0.3&seed=7&top=5", &votes); code != http.StatusOK {
+		t.Fatalf("votes: status %d", code)
+	}
+	if !votes.Cached || len(votes.Users) == 0 || len(votes.Users) > 5 {
+		t.Fatalf("votes: %+v", votes)
+	}
+	for i := 1; i < len(votes.Users); i++ {
+		if votes.Users[i].Votes > votes.Users[i-1].Votes {
+			t.Fatal("votes not ranked descending")
+		}
+	}
+
+	// Stats must prove one ensemble run served the whole sweep.
+	var st Stats
+	if code := getJSON(t, srv.URL+"/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if st.EnsembleRuns != 1 {
+		t.Fatalf("sweep of 3 thresholds executed %d ensemble runs, want 1", st.EnsembleRuns)
+	}
+	if st.CacheMisses != 1 || st.CacheHits != 4 {
+		t.Errorf("cache counters: %+v, want misses=1 hits=4", st)
+	}
+	if st.Graph.Version != 3 {
+		t.Errorf("graph version = %d, want 3", st.Graph.Version)
+	}
+
+	// A second ingest bumps the version and invalidates the cache.
+	var ing edgesResponse
+	postJSON(t, srv.URL+"/v1/edges", map[string]any{"edges": [][2]uint32{{900, 900}}}, &ing)
+	if ing.Version != 4 {
+		t.Fatalf("post-ingest version = %d, want 4", ing.Version)
+	}
+	var after detectResponse
+	if code := postJSON(t, srv.URL+"/v1/detect", detectBody(6), &after); code != http.StatusOK {
+		t.Fatalf("detect after ingest: status %d", code)
+	}
+	if after.Cached || after.GraphVersion != 4 {
+		t.Fatalf("detect after ingest served stale cache: %+v", after)
+	}
+	getJSON(t, srv.URL+"/v1/stats", &st)
+	if st.EnsembleRuns != 2 {
+		t.Errorf("after invalidation runs = %d, want 2", st.EnsembleRuns)
+	}
+}
+
+func TestDaemonDefaultThreshold(t *testing.T) {
+	srv := daemon(t)
+	postJSON(t, srv.URL+"/v1/edges", map[string]any{"edges": [][2]uint32{{0, 0}, {1, 0}, {1, 1}}}, nil)
+	// Omitted T → N/2; explicit 0 clamps to 1 (not N/2) and the response
+	// reports the threshold actually applied.
+	var d detectResponse
+	postJSON(t, srv.URL+"/v1/detect", map[string]any{"n": 8, "s": 0.5}, &d)
+	if d.Threshold != 4 {
+		t.Errorf("omitted T → %d, want N/2 = 4", d.Threshold)
+	}
+	postJSON(t, srv.URL+"/v1/detect", map[string]any{"t": 0, "n": 8, "s": 0.5}, &d)
+	if d.Threshold != 1 {
+		t.Errorf("explicit T=0 applied as %d, want clamp to 1", d.Threshold)
+	}
+}
+
+func TestDaemonBadRequests(t *testing.T) {
+	srv := daemon(t)
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		status int
+	}{
+		{"empty edge batch", "POST", "/v1/edges", `{"edges": []}`, http.StatusBadRequest},
+		{"malformed json", "POST", "/v1/edges", `{"edges": [`, http.StatusBadRequest},
+		{"unknown field", "POST", "/v1/edges", `{"edgez": [[0,1]]}`, http.StatusBadRequest},
+		{"trailing garbage", "POST", "/v1/detect", `{"t":1}{"t":2}`, http.StatusBadRequest},
+		{"bad sampler", "POST", "/v1/detect", `{"sampler":"bogus"}`, http.StatusBadRequest},
+		{"bad ratio", "POST", "/v1/detect", `{"s": 7.5}`, http.StatusBadRequest},
+		{"negative ratio", "POST", "/v1/detect", `{"s": -0.5}`, http.StatusBadRequest},
+		{"negative samples", "POST", "/v1/detect", `{"n": -1}`, http.StatusBadRequest},
+		{"NaN ratio query", "GET", "/v1/votes?s=NaN", "", http.StatusBadRequest},
+		{"huge node id", "POST", "/v1/edges", `{"edges": [[4294967295, 0]]}`, http.StatusBadRequest},
+		{"huge ensemble", "POST", "/v1/detect", `{"n": 1000000000}`, http.StatusBadRequest},
+		{"bad votes query", "GET", "/v1/votes?n=abc", "", http.StatusBadRequest},
+		{"wrong method", "GET", "/v1/detect", "", http.StatusMethodNotAllowed},
+		{"unknown path", "GET", "/v1/nope", "", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+	}
+}
+
+// TestDaemonOversizedBody checks that an over-limit ingest body maps to 413
+// (split the batch), not 400 (fix the JSON).
+func TestDaemonOversizedBody(t *testing.T) {
+	srv := daemon(t)
+	pair := []byte("[0,0],")
+	body := append([]byte(`{"edges":[`), bytes.Repeat(pair, (maxBodyBytes/len(pair))+1)...)
+	body = append(body[:len(body)-1], []byte("]}")...)
+	resp, err := http.Post(srv.URL+"/v1/edges", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestDaemonConcurrentClients fires parallel detect requests for the same
+// configuration at a fresh version; single-flighting must collapse them into
+// one ensemble run.
+func TestDaemonConcurrentClients(t *testing.T) {
+	srv := daemon(t)
+	postJSON(t, srv.URL+"/v1/edges", map[string]any{"edges": fraudBatches()[2]}, nil)
+
+	const clients = 6
+	errc := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			resp, err := http.Post(srv.URL+"/v1/detect", "application/json",
+				bytes.NewReader([]byte(`{"n": 10, "s": 0.3, "seed": 3}`)))
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					err = fmt.Errorf("status %d", resp.StatusCode)
+				}
+			}
+			errc <- err
+		}()
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	var st Stats
+	getJSON(t, srv.URL+"/v1/stats", &st)
+	if st.EnsembleRuns != 1 {
+		t.Errorf("%d concurrent clients caused %d ensemble runs, want 1", clients, st.EnsembleRuns)
+	}
+}

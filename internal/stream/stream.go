@@ -1,0 +1,178 @@
+// Package stream provides the mutable front half of the serving pipeline: a
+// concurrency-safe dynamic bipartite graph that accepts batched edge appends
+// as purchases arrive and hands out immutable bipartite.Graph snapshots for
+// detection.
+//
+// The paper's ensemble (and every algorithm in this repository) works on an
+// immutable dual-CSR Graph. A production ingest path cannot rebuild that CSR
+// per purchase, so Graph keeps the live state as a deduplicated edge log
+// guarded by a mutex and materializes CSR snapshots lazily, caching one
+// snapshot per version. Appends bump a monotonic version counter only when
+// they change the edge set, which is what lets the serve layer key its vote
+// cache on (version, config) and answer repeat queries without re-running
+// detection.
+//
+// Snapshot construction copies the edge log under a read lock and builds the
+// CSR outside any lock, so detection never blocks ingest for longer than a
+// memcpy of the edge slice.
+package stream
+
+import (
+	"sync"
+
+	"ensemfdet/internal/bipartite"
+)
+
+// Graph is a mutable, concurrency-safe dynamic bipartite graph. The zero
+// value is not usable; construct with New. All methods are safe for
+// concurrent use.
+type Graph struct {
+	mu           sync.RWMutex
+	numUsers     int
+	numMerchants int
+	edges        []bipartite.Edge    // deduplicated, append order
+	seen         map[uint64]struct{} // edge key set for O(1) dedup
+	version      uint64              // bumps only when the edge set changes
+
+	buildMu     sync.Mutex       // single-flights cold snapshot builds
+	snap        *bipartite.Graph // cached CSR snapshot of snapVersion
+	snapVersion uint64
+}
+
+// New returns an empty dynamic graph at version 0.
+func New() *Graph {
+	return &Graph{seen: make(map[uint64]struct{})}
+}
+
+func edgeKey(e bipartite.Edge) uint64 { return uint64(e.U)<<32 | uint64(e.V) }
+
+// AppendResult summarizes one batched append.
+type AppendResult struct {
+	// Added is the number of edges not previously present.
+	Added int
+	// Duplicates is the number of edges skipped because they were already
+	// in the graph (or repeated within the batch).
+	Duplicates int
+	// Version is the graph version after the append. It exceeds the
+	// pre-append version iff Added > 0.
+	Version uint64
+	// Stats is the graph size immediately after this append, captured
+	// under the same lock so it is consistent with Version even when other
+	// writers race.
+	Stats Stats
+}
+
+// Append records a batch of purchase edges, deduplicating against everything
+// already ingested. The version counter advances once per batch that adds at
+// least one new edge, so an idempotent retry of the same batch leaves the
+// version — and therefore every cached detection — intact.
+func (g *Graph) Append(edges []bipartite.Edge) AppendResult {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var res AppendResult
+	for _, e := range edges {
+		k := edgeKey(e)
+		if _, dup := g.seen[k]; dup {
+			res.Duplicates++
+			continue
+		}
+		g.seen[k] = struct{}{}
+		g.edges = append(g.edges, e)
+		if int(e.U) >= g.numUsers {
+			g.numUsers = int(e.U) + 1
+		}
+		if int(e.V) >= g.numMerchants {
+			g.numMerchants = int(e.V) + 1
+		}
+		res.Added++
+	}
+	if res.Added > 0 {
+		g.version++
+	}
+	res.Version = g.version
+	res.Stats = Stats{
+		Version:      g.version,
+		NumUsers:     g.numUsers,
+		NumMerchants: g.numMerchants,
+		NumEdges:     len(g.edges),
+	}
+	return res
+}
+
+// AppendEdge records a single purchase (u, v).
+func (g *Graph) AppendEdge(u, v uint32) AppendResult {
+	return g.Append([]bipartite.Edge{{U: u, V: v}})
+}
+
+// Version returns the current graph version. Version 0 is the empty graph.
+func (g *Graph) Version() uint64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.version
+}
+
+// Stats is a point-in-time size summary of the dynamic graph.
+type Stats struct {
+	Version      uint64 `json:"version"`
+	NumUsers     int    `json:"num_users"`
+	NumMerchants int    `json:"num_merchants"`
+	NumEdges     int    `json:"num_edges"`
+}
+
+// Stats returns the current version and side/edge counts atomically.
+func (g *Graph) Stats() Stats {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return Stats{
+		Version:      g.version,
+		NumUsers:     g.numUsers,
+		NumMerchants: g.numMerchants,
+		NumEdges:     len(g.edges),
+	}
+}
+
+// Snapshot returns an immutable CSR view of the graph and the version it
+// reflects. The result is cached: repeated calls at an unchanged version
+// return the same *bipartite.Graph, so snapshotting is O(1) between appends.
+// Cold builds are single-flighted — a burst of snapshotters after an ingest
+// performs one edge-log copy and one CSR build, not one per caller. The
+// returned graph is never mutated by later appends.
+func (g *Graph) Snapshot() (*bipartite.Graph, uint64) {
+	if snap, v, ok := g.cachedSnapshot(); ok {
+		return snap, v
+	}
+	// Serialize builders; losers of the race re-check the cache the winner
+	// just filled. Append never takes buildMu, so ingest is unaffected.
+	g.buildMu.Lock()
+	defer g.buildMu.Unlock()
+	if snap, v, ok := g.cachedSnapshot(); ok {
+		return snap, v
+	}
+
+	// Copy the log under the read lock; build the CSR outside it so a large
+	// build never stalls ingest.
+	g.mu.RLock()
+	v := g.version
+	nu, nm := g.numUsers, g.numMerchants
+	edges := make([]bipartite.Edge, len(g.edges))
+	copy(edges, g.edges)
+	g.mu.RUnlock()
+
+	snap := bipartite.NewBuilderSized(nu, nm, len(edges))
+	snap.AddEdges(edges)
+	built := snap.Build()
+
+	g.mu.Lock()
+	g.snap, g.snapVersion = built, v
+	g.mu.Unlock()
+	return built, v
+}
+
+func (g *Graph) cachedSnapshot() (*bipartite.Graph, uint64, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if g.snap != nil && g.snapVersion == g.version {
+		return g.snap, g.snapVersion, true
+	}
+	return nil, 0, false
+}

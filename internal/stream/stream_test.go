@@ -1,0 +1,124 @@
+package stream
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ensemfdet/internal/bipartite"
+)
+
+func TestAppendDedupAndVersion(t *testing.T) {
+	g := New()
+	if v := g.Version(); v != 0 {
+		t.Fatalf("empty graph version = %d, want 0", v)
+	}
+
+	res := g.Append([]bipartite.Edge{{U: 0, V: 0}, {U: 0, V: 1}, {U: 0, V: 0}})
+	if res.Added != 2 || res.Duplicates != 1 || res.Version != 1 {
+		t.Fatalf("first batch: %+v, want Added=2 Duplicates=1 Version=1", res)
+	}
+
+	// Re-ingesting the same batch is a no-op and must not bump the version.
+	res = g.Append([]bipartite.Edge{{U: 0, V: 0}, {U: 0, V: 1}})
+	if res.Added != 0 || res.Duplicates != 2 || res.Version != 1 {
+		t.Fatalf("idempotent retry: %+v, want Added=0 Duplicates=2 Version=1", res)
+	}
+
+	res = g.AppendEdge(5, 7)
+	if res.Added != 1 || res.Version != 2 {
+		t.Fatalf("new edge: %+v, want Added=1 Version=2", res)
+	}
+	st := g.Stats()
+	if st.NumUsers != 6 || st.NumMerchants != 8 || st.NumEdges != 3 || st.Version != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSnapshotCachingAndImmutability(t *testing.T) {
+	g := New()
+	g.Append([]bipartite.Edge{{U: 0, V: 0}, {U: 1, V: 0}, {U: 1, V: 1}})
+
+	s1, v1 := g.Snapshot()
+	if v1 != 1 {
+		t.Fatalf("snapshot version = %d, want 1", v1)
+	}
+	if s1.NumEdges() != 3 || s1.NumUsers() != 2 || s1.NumMerchants() != 2 {
+		t.Fatalf("snapshot shape: %v", s1)
+	}
+	if err := s1.Validate(); err != nil {
+		t.Fatalf("snapshot invalid: %v", err)
+	}
+
+	// Unchanged version → cached pointer, no rebuild.
+	s1b, v1b := g.Snapshot()
+	if s1b != s1 || v1b != v1 {
+		t.Fatal("snapshot at unchanged version was rebuilt")
+	}
+
+	// Appending must not mutate the earlier snapshot.
+	g.AppendEdge(9, 9)
+	if s1.NumEdges() != 3 || s1.NumUsers() != 2 {
+		t.Fatal("append mutated an existing snapshot")
+	}
+	s2, v2 := g.Snapshot()
+	if v2 != 2 || s2 == s1 {
+		t.Fatalf("post-append snapshot: version %d, same pointer %v", v2, s2 == s1)
+	}
+	if s2.NumUsers() != 10 || s2.NumEdges() != 4 {
+		t.Fatalf("post-append snapshot shape: %v", s2)
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	g := New()
+	s, v := g.Snapshot()
+	if v != 0 || s.NumEdges() != 0 || s.NumUsers() != 0 {
+		t.Fatalf("empty snapshot: v=%d %v", v, s)
+	}
+}
+
+// TestConcurrentIngestAndSnapshot hammers Append and Snapshot from many
+// goroutines; run with -race. Every snapshot must be internally consistent
+// regardless of interleaving.
+func TestConcurrentIngestAndSnapshot(t *testing.T) {
+	g := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				batch := make([]bipartite.Edge, 8)
+				for j := range batch {
+					batch[j] = bipartite.Edge{U: uint32(rng.Intn(500)), V: uint32(rng.Intn(500))}
+				}
+				g.Append(batch)
+			}
+		}(int64(w + 1))
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s, _ := g.Snapshot()
+				if err := s.Validate(); err != nil {
+					t.Errorf("inconsistent snapshot: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := g.Stats()
+	s, v := g.Snapshot()
+	if v != st.Version && g.Version() == st.Version {
+		t.Errorf("final snapshot version %d, stats version %d", v, st.Version)
+	}
+	if s.NumEdges() != st.NumEdges {
+		t.Errorf("final snapshot has %d edges, stats say %d", s.NumEdges(), st.NumEdges)
+	}
+}
