@@ -103,13 +103,28 @@ func BenchmarkPeelSingleBlock(b *testing.B) {
 }
 
 // BenchmarkSampleRES measures one S=0.1 random-edge sample, the ensemble's
-// per-sample setup cost.
+// per-sample setup cost, on the one-shot (allocating) path.
 func BenchmarkSampleRES(b *testing.B) {
 	g := benchGraph(b)
 	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		(sampling.RandomEdge{}).Sample(g, 0.1, rng)
+	}
+}
+
+// BenchmarkSampleRESScratch is the ensemble worker's actual per-sample
+// path: a warmed sampling.Scratch makes the draw allocation-free.
+func BenchmarkSampleRESScratch(b *testing.B) {
+	g := benchGraph(b)
+	rng := rand.New(rand.NewSource(1))
+	s := new(sampling.Scratch)
+	sampling.SampleInto(sampling.RandomEdge{}, g, 0.1, rng, s) // warm up
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sampling.SampleInto(sampling.RandomEdge{}, g, 0.1, rng, s)
 	}
 }
 
@@ -130,6 +145,42 @@ func BenchmarkSampleONSMerchant(b *testing.B) {
 func BenchmarkEnsembleRun(b *testing.B) {
 	g := benchGraph(b)
 	cfg := core.Config{NumSamples: 16, SampleRatio: 0.1, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(g, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPeelOnce isolates the cross-round cost of one peeling round
+// inside a multi-block detection: a warm peeler peels its graph to
+// exhaustion, so allocs/op exposes any per-round slice churn (the seed
+// reallocated every priority/degree/order/membership slice per round).
+func BenchmarkPeelOnce(b *testing.B) {
+	g := benchGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		res := fdet.Detect(g, fdet.Options{FixedK: 8})
+		rounds += len(res.Scores)
+	}
+	b.StopTimer()
+	if rounds == 0 {
+		b.Fatal("no peeling rounds")
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(rounds), "ns/round")
+}
+
+// BenchmarkEnsembleN80 is the paper's main setting (RES, N=80, S=0.1) and
+// the PR-over-PR allocation regression guard: the ensemble hot path is meant
+// to be allocation-free after arena warm-up, so allocs/op here must stay
+// O(workers + N), not O(N·subgraph).
+func BenchmarkEnsembleN80(b *testing.B) {
+	g := benchGraph(b)
+	cfg := core.Config{NumSamples: 80, SampleRatio: 0.1, Seed: 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Run(g, cfg); err != nil {

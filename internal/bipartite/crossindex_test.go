@@ -1,10 +1,6 @@
 package bipartite
 
-import (
-	"math/rand"
-	"testing"
-	"testing/quick"
-)
+import "testing"
 
 func TestRowRangesAndAdjAccessors(t *testing.T) {
 	g := smallGraph(t)
@@ -33,62 +29,5 @@ func TestRowRangesAndAdjAccessors(t *testing.T) {
 				t.Errorf("MerchantAdjAt(%d) = %d, want %d", p, g.MerchantAdjAt(p), neigh[p-start])
 			}
 		}
-	}
-}
-
-func TestBuildCrossIndexSmall(t *testing.T) {
-	g := smallGraph(t)
-	xi := g.BuildCrossIndex()
-	if len(xi) != g.NumEdges() {
-		t.Fatalf("cross index len = %d, want %d", len(xi), g.NumEdges())
-	}
-	// Every merchant-major position must point at the user-major id of the
-	// same edge.
-	for v := 0; v < g.NumMerchants(); v++ {
-		start, end := g.MerchantRowRange(uint32(v))
-		for p := start; p < end; p++ {
-			u := g.MerchantAdjAt(p)
-			i := int(xi[p])
-			us, ue := g.UserRowRange(u)
-			if i < us || i >= ue {
-				t.Fatalf("xi[%d]=%d outside user %d's range [%d,%d)", p, i, u, us, ue)
-			}
-			if g.UserAdjAt(i) != uint32(v) {
-				t.Errorf("xi[%d] maps to edge (%d,%d), want merchant %d", p, u, g.UserAdjAt(i), v)
-			}
-		}
-	}
-}
-
-func TestPropertyCrossIndexIsBijection(t *testing.T) {
-	// The cross index must be a permutation of [0, NumEdges) mapping each
-	// merchant-major position to the matching user-major edge.
-	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		nu, nm := 1+rng.Intn(30), 1+rng.Intn(30)
-		g, err := FromEdges(nu, nm, randomEdges(rng, nu, nm, rng.Intn(200)))
-		if err != nil {
-			return false
-		}
-		xi := g.BuildCrossIndex()
-		seen := make([]bool, g.NumEdges())
-		for _, i := range xi {
-			if int(i) >= len(seen) || seen[i] {
-				return false
-			}
-			seen[i] = true
-		}
-		for v := 0; v < g.NumMerchants(); v++ {
-			start, end := g.MerchantRowRange(uint32(v))
-			for p := start; p < end; p++ {
-				if g.UserAdjAt(int(xi[p])) != uint32(v) {
-					return false
-				}
-			}
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
-		t.Error(err)
 	}
 }

@@ -126,25 +126,6 @@ func (g *Graph) MerchantRowRange(v uint32) (start, end int) {
 // MerchantAdjAt returns the user stored at merchant-major position p.
 func (g *Graph) MerchantAdjAt(p int) uint32 { return g.merchAdj[p] }
 
-// BuildCrossIndex returns xi of length NumEdges where xi[p] is the canonical
-// (user-major) edge id of the edge stored at merchant-major position p.
-// Peeling engines use it to mark edges dead from either endpoint.
-func (g *Graph) BuildCrossIndex() []int32 {
-	xi := make([]int32, g.NumEdges())
-	cur := make([]int, g.NumMerchants())
-	// User-major iteration visits each merchant's users in increasing user
-	// order, matching the merchant rows' sort order.
-	for u := 0; u < g.NumUsers(); u++ {
-		start, end := g.UserRowRange(uint32(u))
-		for i := start; i < end; i++ {
-			v := g.userAdj[i]
-			xi[g.merchOff[v]+cur[v]] = int32(i)
-			cur[v]++
-		}
-	}
-	return xi
-}
-
 // String implements fmt.Stringer with a compact summary.
 func (g *Graph) String() string {
 	return fmt.Sprintf("bipartite.Graph{users: %d, merchants: %d, edges: %d}",

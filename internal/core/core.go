@@ -22,6 +22,7 @@ import (
 	"ensemfdet/internal/density"
 	"ensemfdet/internal/fdet"
 	"ensemfdet/internal/sampling"
+	"ensemfdet/internal/scratch"
 )
 
 // Config carries the ensemble parameters of the paper's Table II.
@@ -42,6 +43,14 @@ type Config struct {
 	// CollectScores retains every sample's per-block score curve in the
 	// output (Figure 1); costs O(N·kˆ) memory.
 	CollectScores bool
+	// Arenas, when non-nil, supplies the per-worker scratch arenas (sampler
+	// buffers, remapper tables, peeler state, vote accumulators). Serving
+	// layers share one pool across requests so the hot path stops
+	// allocating once warm; nil means Run uses a private pool, which still
+	// reuses arenas across the samples each worker processes. Arenas never
+	// affect results — votes are byte-identical for a fixed Seed either
+	// way — so the field is excluded from cache fingerprints.
+	Arenas *ArenaPool
 }
 
 // Defaults for the paper's main experimental setting (§V-C1).
@@ -98,7 +107,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("core: sample ratio S must be in (0,1], got %g", c.SampleRatio)
 	}
 	if c.NumSamples < 0 {
-		return fmt.Errorf("core: number of samples N must be positive, got %d", c.NumSamples)
+		return fmt.Errorf("core: number of samples N must be non-negative (0 selects the default %d), got %d",
+			DefaultN, c.NumSamples)
 	}
 	return nil
 }
@@ -221,14 +231,25 @@ func Run(g *bipartite.Graph, cfg Config) (*Output, error) {
 		parentWeights = metric.MerchantWeights(g)
 	}
 
-	type sampleResult struct {
-		users     []uint32
-		merchants []uint32
-		scores    []float64
-		kHat      int
-		work      time.Duration
+	out := &Output{
+		Votes: Votes{
+			User:       make([]int, g.NumUsers()),
+			Merchant:   make([]int, g.NumMerchants()),
+			NumSamples: n,
+		},
+		KHats:      make([]int, n),
+		SampleWork: make([]time.Duration, n),
 	}
-	results := make([]sampleResult, n)
+	if cfg.CollectScores {
+		out.BlockScores = make([][]float64, n)
+	}
+
+	pool := cfg.Arenas
+	if pool == nil {
+		// Private pool: arenas are still recycled across the samples each
+		// worker processes within this Run, just not across Runs.
+		pool = NewArenaPool()
+	}
 
 	// A panic in a worker (sampler or FDET on a degenerate subgraph) must
 	// not crash the process: long-running callers like the serving daemon
@@ -239,8 +260,9 @@ func Run(g *bipartite.Graph, cfg Config) (*Output, error) {
 	var (
 		panicMu  sync.Mutex
 		panicErr error
+		voteMu   sync.Mutex
 	)
-	runSample := func(i int) {
+	runSample := func(a *Arena, i int) {
 		defer func() {
 			if r := recover(); r != nil {
 				panicMu.Lock()
@@ -254,25 +276,39 @@ func Run(g *bipartite.Graph, cfg Config) (*Output, error) {
 		// Each sample gets its own rng derived from (Seed, i) so
 		// results do not depend on goroutine scheduling.
 		rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)*2_654_435_761 + 1))
-		sg := method.Sample(g, ratio, rng)
+		sg := sampling.SampleInto(method, g, ratio, rng, &a.samp)
 		opts := cfg.FDet
-		opts.MerchantWeights = make([]float64, sg.NumMerchants())
-		for lv := range opts.MerchantWeights {
-			opts.MerchantWeights[lv] = parentWeights[sg.ParentMerchant(uint32(lv))]
+		weights := scratch.Grow(&a.weights, sg.NumMerchants())
+		for lv := range weights {
+			weights[lv] = parentWeights[sg.ParentMerchant(uint32(lv))]
 		}
-		res := fdet.Detect(sg.Graph, opts)
-		r := sampleResult{kHat: res.TruncatedAt}
-		for _, lu := range res.DetectedUsers() {
-			r.users = append(r.users, sg.ParentUser(lu))
+		opts.MerchantWeights = weights
+		res := a.det.Detect(sg.Graph, opts)
+		// Cast votes in the parent id space directly off the retained
+		// blocks: the stamps dedup nodes whose edges are split across
+		// blocks, so each node votes at most once per sample (h_i(x) of
+		// Definition 4) — no union set is ever materialized.
+		a.seenU.Reset(sg.NumUsers())
+		a.seenV.Reset(sg.NumMerchants())
+		for _, blk := range res.Blocks {
+			for _, lu := range blk.Users {
+				if a.seenU.TryAdd(int(lu)) {
+					a.userVotes[sg.ParentUser(lu)]++
+				}
+			}
+			for _, lv := range blk.Merchants {
+				if a.seenV.TryAdd(int(lv)) {
+					a.merchVotes[sg.ParentMerchant(lv)]++
+				}
+			}
 		}
-		for _, lv := range res.DetectedMerchants() {
-			r.merchants = append(r.merchants, sg.ParentMerchant(lv))
-		}
+		out.KHats[i] = res.TruncatedAt
 		if cfg.CollectScores {
-			r.scores = res.Scores
+			// res.Scores aliases the worker's scratch; the retained curve
+			// needs its own copy (CollectScores is the off-hot-path mode).
+			out.BlockScores[i] = append([]float64(nil), res.Scores...)
 		}
-		r.work = time.Since(start)
-		results[i] = r
+		out.SampleWork[i] = time.Since(start)
 	}
 
 	var wg sync.WaitGroup
@@ -282,9 +318,27 @@ func Run(g *bipartite.Graph, cfg Config) (*Output, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			a := pool.get()
+			scratch.GrowZero(&a.userVotes, g.NumUsers())
+			scratch.GrowZero(&a.merchVotes, g.NumMerchants())
 			for i := range jobs {
-				runSample(i)
+				runSample(a, i)
 			}
+			// Merge this worker's votes. Integer addition commutes, so the
+			// merge order (worker completion order) cannot affect results.
+			voteMu.Lock()
+			for id, c := range a.userVotes {
+				if c != 0 {
+					out.Votes.User[id] += c
+				}
+			}
+			for id, c := range a.merchVotes {
+				if c != 0 {
+					out.Votes.Merchant[id] += c
+				}
+			}
+			voteMu.Unlock()
+			pool.put(a)
 		}()
 	}
 	for i := 0; i < n; i++ {
@@ -294,32 +348,6 @@ func Run(g *bipartite.Graph, cfg Config) (*Output, error) {
 	wg.Wait()
 	if panicErr != nil {
 		return nil, panicErr
-	}
-
-	out := &Output{
-		Votes: Votes{
-			User:       make([]int, g.NumUsers()),
-			Merchant:   make([]int, g.NumMerchants()),
-			NumSamples: n,
-		},
-		KHats:      make([]int, n),
-		SampleWork: make([]time.Duration, n),
-	}
-	if cfg.CollectScores {
-		out.BlockScores = make([][]float64, n)
-	}
-	for i, r := range results {
-		for _, u := range r.users {
-			out.Votes.User[u]++
-		}
-		for _, v := range r.merchants {
-			out.Votes.Merchant[v]++
-		}
-		out.KHats[i] = r.kHat
-		out.SampleWork[i] = r.work
-		if cfg.CollectScores {
-			out.BlockScores[i] = r.scores
-		}
 	}
 	return out, nil
 }

@@ -190,6 +190,45 @@ func TestConfigValidation(t *testing.T) {
 	}
 }
 
+func TestConfigValidateTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr string // substring; empty means valid
+	}{
+		{"zero value uses defaults", Config{}, ""},
+		{"explicit valid", Config{NumSamples: 80, SampleRatio: 0.1}, ""},
+		{"N zero selects default", Config{NumSamples: 0}, ""},
+		// Negative N is rejected, and the message must say "non-negative" —
+		// the old text claimed N "must be positive" while the check only
+		// rejected negatives, misleading callers about N = 0.
+		{"N negative", Config{NumSamples: -1}, "non-negative"},
+		{"N very negative", Config{NumSamples: -80}, "non-negative"},
+		{"S above one", Config{SampleRatio: 1.01}, "sample ratio"},
+		{"S negative", Config{SampleRatio: -0.5}, "sample ratio"},
+		{"S boundary one", Config{SampleRatio: 1}, ""},
+	}
+	for _, c := range cases {
+		err := c.cfg.validate()
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: accepted, want error containing %q", c.name, c.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantErr)
+		}
+		if strings.Contains(err.Error(), "must be positive") {
+			t.Errorf("%s: error %q still uses the misleading 'must be positive' wording", c.name, err)
+		}
+	}
+}
+
 func TestConfigDefaults(t *testing.T) {
 	var c Config
 	if c.method().Name() != "RES" {

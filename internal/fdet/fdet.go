@@ -9,6 +9,7 @@ import (
 
 	"ensemfdet/internal/bipartite"
 	"ensemfdet/internal/density"
+	"ensemfdet/internal/scratch"
 )
 
 // Block is one detected dense subgraph. Ids are local to the graph that was
@@ -73,15 +74,37 @@ type Result struct {
 	TruncatedAt int
 }
 
-// DetectedUsers returns the union of user ids over retained blocks.
+// DetectedUsers returns the union of user ids over retained blocks, sorted
+// ascending.
 func (r Result) DetectedUsers() []uint32 { return unionIDs(r.Blocks, true) }
 
-// DetectedMerchants returns the union of merchant ids over retained blocks.
+// DetectedMerchants returns the union of merchant ids over retained blocks,
+// sorted ascending.
 func (r Result) DetectedMerchants() []uint32 { return unionIDs(r.Blocks, false) }
 
+// unionIDs unions one side's ids over blocks. Block ids are dense local ids
+// of the peeled (sub)graph, so a membership slice sized to the largest id
+// replaces the old per-call map: one bulk allocation instead of per-id map
+// inserts, and the ascending collection scan makes the output sorted — an
+// order callers can rely on (pinned by tests).
 func unionIDs(blocks []Block, users bool) []uint32 {
-	seen := make(map[uint32]bool)
-	var out []uint32
+	maxID := -1
+	for _, b := range blocks {
+		ids := b.Users
+		if !users {
+			ids = b.Merchants
+		}
+		for _, id := range ids {
+			if int(id) > maxID {
+				maxID = int(id)
+			}
+		}
+	}
+	if maxID < 0 {
+		return nil
+	}
+	seen := make([]bool, maxID+1)
+	n := 0
 	for _, b := range blocks {
 		ids := b.Users
 		if !users {
@@ -90,18 +113,42 @@ func unionIDs(blocks []Block, users bool) []uint32 {
 		for _, id := range ids {
 			if !seen[id] {
 				seen[id] = true
-				out = append(out, id)
+				n++
 			}
+		}
+	}
+	out := make([]uint32, 0, n)
+	for id, ok := range seen {
+		if ok {
+			out = append(out, uint32(id))
 		}
 	}
 	return out
 }
 
-// Detect runs FDET on g. Blocks are edge-disjoint: each round removes the
-// detected block's edges before the next search, exactly as Algorithm 1 does
-// (a node may appear in several blocks if its edges are split across them;
-// the detected node set is the union, as in Alg. 1 lines 9-10).
-func Detect(g *bipartite.Graph, opts Options) Result {
+// Scratch holds the reusable state of one FDET worker: the peeler's alive
+// adjacency, heap, priority/degree/order/membership tables, and the block
+// and score storage of the last detection. A worker that runs many FDET
+// detections (the ensemble runs one per sample) reuses a single Scratch and
+// allocates nothing after warm-up.
+//
+// Aliasing contract: the Result returned by Scratch.Detect points into
+// scratch-owned memory — block id slices and the score slice are overwritten
+// by the next Detect on the same scratch. The zero value is ready to use.
+// A Scratch must not be shared between goroutines without synchronization.
+type Scratch struct {
+	p        peeler
+	refs     []blockRef
+	blocks   []Block
+	scoreBuf []float64
+}
+
+// NewScratch returns an empty scratch; all state is grown lazily.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// Detect runs FDET on g exactly like the package-level Detect but reuses
+// s's buffers. Results are identical; see the Scratch aliasing contract.
+func (s *Scratch) Detect(g *bipartite.Graph, opts Options) Result {
 	maxBlocks := opts.MaxBlocks
 	if maxBlocks <= 0 {
 		maxBlocks = DefaultMaxBlocks
@@ -118,16 +165,16 @@ func Detect(g *bipartite.Graph, opts Options) Result {
 		maxBlocks = opts.FixedK
 	}
 
-	p := newPeeler(g, metric, opts.MerchantWeights)
-	var blocks []Block
-	var scores []float64
-	for len(blocks) < maxBlocks && p.aliveEdges > 0 {
-		blk, ok := p.peelOnce()
+	s.p.reset(g, metric, opts.MerchantWeights)
+	refs := s.refs[:0]
+	scores := s.scoreBuf[:0]
+	for len(refs) < maxBlocks && s.p.aliveEdges > 0 {
+		ref, ok := s.p.peelOnce()
 		if !ok {
 			break
 		}
-		blocks = append(blocks, blk)
-		scores = append(scores, blk.Score)
+		refs = append(refs, ref)
+		scores = append(scores, ref.score)
 		if opts.FixedK > 0 || opts.DisableEarlyStop {
 			continue
 		}
@@ -137,12 +184,31 @@ func Detect(g *bipartite.Graph, opts Options) Result {
 			}
 		}
 	}
+	s.refs = refs
+	s.scoreBuf = scores
 
-	kHat := len(blocks)
+	kHat := len(refs)
 	if opts.FixedK == 0 {
 		kHat = TruncatingPoint(scores)
 	}
-	return Result{Blocks: blocks[:kHat], Scores: scores, TruncatedAt: kHat}
+	// Materialize blocks only now: the membership arrays are final, so the
+	// subslices handed out cannot be moved by a later append.
+	blocks := scratch.Grow(&s.blocks, len(refs))
+	for i, ref := range refs {
+		blocks[i] = s.p.block(ref)
+	}
+	return Result{Blocks: blocks[:kHat:kHat], Scores: scores, TruncatedAt: kHat}
+}
+
+// Detect runs FDET on g. Blocks are edge-disjoint: each round removes the
+// detected block's edges before the next search, exactly as Algorithm 1 does
+// (a node may appear in several blocks if its edges are split across them;
+// the detected node set is the union, as in Alg. 1 lines 9-10).
+func Detect(g *bipartite.Graph, opts Options) Result {
+	// A fresh scratch per call keeps the returned Result exclusively owned,
+	// preserving the original allocating semantics.
+	var s Scratch
+	return s.Detect(g, opts)
 }
 
 // TruncatingPoint implements Definition 3: kˆ = argmin_i Δ²φ(G(S_i)) where
@@ -184,5 +250,11 @@ func Peel(g *bipartite.Graph, metric density.Metric) (Block, bool) {
 	if metric == nil {
 		metric = density.Default()
 	}
-	return newPeeler(g, metric, nil).peelOnce()
+	var p peeler
+	p.reset(g, metric, nil)
+	ref, ok := p.peelOnce()
+	if !ok {
+		return Block{}, false
+	}
+	return p.block(ref), true
 }

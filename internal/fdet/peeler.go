@@ -4,38 +4,114 @@ import (
 	"ensemfdet/internal/bipartite"
 	"ensemfdet/internal/density"
 	"ensemfdet/internal/indexheap"
+	"ensemfdet/internal/scratch"
 )
 
 // peeler holds the mutable cross-round state of one FDET run: the frozen
-// merchant weights and the per-edge liveness left behind by earlier blocks.
+// merchant weights, the per-edge liveness left behind by earlier blocks, and
+// a compacted alive-adjacency so round k scans only edges still alive
+// instead of all |E|.
+//
+// All state lives in grow-in-place buffers, so a peeler embedded in a
+// Scratch is recycled across FDET runs (and across the samples one ensemble
+// worker processes) without allocating. The zero value is ready for reset.
+//
+// Determinism invariant: every float accumulation and every heap operation
+// happens in exactly the order the naive implementation (full-CSR scan that
+// skips dead edges) would produce. Compaction is stable — surviving edges
+// keep their user-major (resp. merchant-major) relative order — so priority
+// sums see the same addends in the same order and votes stay byte-identical
+// for a fixed seed.
 type peeler struct {
 	g          *bipartite.Graph
-	w          []float64 // merchant weights frozen from g at construction
+	w          []float64 // merchant weights frozen from g at reset
 	edgeAlive  []bool    // indexed by canonical (user-major) edge id
-	crossIndex []int32   // merchant-major position -> canonical edge id
 	aliveEdges int
+
+	// Compacted alive adjacency. uOff/uAdj/uEid mirror the user-major CSR
+	// restricted to alive edges (uEid carries canonical edge ids); mOff/
+	// mAdj/mEid mirror the merchant-major direction. Rows are re-compacted
+	// at the start of every round, dropping edges killed by the previous
+	// block, so dead edges are never rescanned.
+	uOff, mOff []int32
+	uAdj, mAdj []uint32
+	uEid, mEid []int32
+
+	userPrio          []float64
+	userDeg, merchDeg []int32
+	heap              indexheap.Heap
+	order             []int32
+	phis              []float64
+	inBlockUser       []bool
+	inBlockMerch      []bool
+
+	// Backing storage for detected block memberships; blockRef ranges index
+	// into these. Materialized into []Block only when detection finishes,
+	// because append may move the arrays while rounds are still running.
+	blockUsers     []uint32
+	blockMerchants []uint32
 }
 
-func newPeeler(g *bipartite.Graph, metric density.Metric, weights []float64) *peeler {
+// blockRef is one detected block as ranges into the peeler's membership
+// arrays, plus its φ score.
+type blockRef struct {
+	uStart, uEnd int
+	vStart, vEnd int
+	score        float64
+}
+
+// reset prepares the peeler to run FDET on g. Weights default to the
+// metric's weights on g (allocating); hot-path callers pass frozen weights.
+func (p *peeler) reset(g *bipartite.Graph, metric density.Metric, weights []float64) {
 	if weights == nil {
 		weights = metric.MerchantWeights(g)
 	}
-	p := &peeler{
-		g:          g,
-		w:          weights,
-		edgeAlive:  make([]bool, g.NumEdges()),
-		crossIndex: g.BuildCrossIndex(),
-		aliveEdges: g.NumEdges(),
+	p.g, p.w = g, weights
+	e := g.NumEdges()
+	nu, nm := g.NumUsers(), g.NumMerchants()
+	alive := scratch.Grow(&p.edgeAlive, e)
+	for i := range alive {
+		alive[i] = true
 	}
-	for i := range p.edgeAlive {
-		p.edgeAlive[i] = true
+	p.aliveEdges = e
+	p.blockUsers = p.blockUsers[:0]
+	p.blockMerchants = p.blockMerchants[:0]
+
+	// Seed the alive adjacency with the whole graph in canonical order. The
+	// merchant-major side is filled by a user-major walk, which visits each
+	// merchant's users in ascending order — matching the merchant rows'
+	// sort order — with mEid recording canonical (user-major) edge ids.
+	uOff := scratch.Grow(&p.uOff, nu+1)
+	uAdj := scratch.Grow(&p.uAdj, e)
+	uEid := scratch.Grow(&p.uEid, e)
+	mOff := scratch.Grow(&p.mOff, nm+1)
+	mAdj := scratch.Grow(&p.mAdj, e)
+	mEid := scratch.Grow(&p.mEid, e)
+	mCur := scratch.GrowZero(&p.merchDeg, nm) // borrowed as fill cursor
+	mOff[0] = 0
+	for v := 0; v < nm; v++ {
+		rs, re := g.MerchantRowRange(uint32(v))
+		mOff[v+1] = mOff[v] + int32(re-rs)
 	}
-	return p
+	for u := 0; u < nu; u++ {
+		start, end := g.UserRowRange(uint32(u))
+		uOff[u] = int32(start)
+		for i := start; i < end; i++ {
+			v := g.UserAdjAt(i)
+			uAdj[i] = v
+			uEid[i] = int32(i)
+			pos := mOff[v] + mCur[v]
+			mAdj[pos] = uint32(u)
+			mEid[pos] = int32(i)
+			mCur[v]++
+		}
+	}
+	uOff[nu] = int32(e)
 }
 
 // peelOnce performs one greedy peeling round over the alive part of the
 // graph: it deletes the minimum-priority node repeatedly, tracks the density
-// score φ after every deletion, returns the best suffix as a Block, and
+// score φ after every deletion, returns the best suffix as a blockRef, and
 // marks that block's edges dead. ok is false when no alive edges remain.
 //
 // Priorities are the removal cost of a node: for a user, the summed weight
@@ -43,34 +119,74 @@ func newPeeler(g *bipartite.Graph, metric density.Metric, weights []float64) *pe
 // Removing the node subtracts exactly its priority from the total weighted
 // edge mass, so φ can be maintained incrementally in O(1) per deletion plus
 // O(deg log n) heap updates — the structure that yields the paper's
-// O(kˆ|E| log(|U|+|V|)) bound.
-func (p *peeler) peelOnce() (Block, bool) {
+// O(kˆ|E| log(|U|+|V|)) bound. The round's scans touch only alive edges:
+// the stable compaction below drops edges killed by earlier blocks exactly
+// once, instead of re-skipping them every subsequent round.
+func (p *peeler) peelOnce() (blockRef, bool) {
 	if p.aliveEdges == 0 {
-		return Block{}, false
+		return blockRef{}, false
 	}
 	g := p.g
 	nu, nm := g.NumUsers(), g.NumMerchants()
 
-	userPrio := make([]float64, nu)
-	merchPrio := make([]float64, nm)
-	userDeg := make([]int, nu)
-	merchDeg := make([]int, nm)
+	userPrio := scratch.Grow(&p.userPrio, nu)
+	userDeg := scratch.Grow(&p.userDeg, nu)
+	merchDeg := scratch.GrowZero(&p.merchDeg, nm)
+
+	// Stable in-place compaction of the user-major alive rows, fused with
+	// the priority/degree recomputation the round needs anyway. Surviving
+	// edges keep their relative order, so the float sums below add the same
+	// values in the same order as a full-CSR scan skipping dead edges.
 	total := 0.0
+	w := int32(0)
+	start := p.uOff[0]
 	for u := 0; u < nu; u++ {
-		start, end := g.UserRowRange(uint32(u))
+		end := p.uOff[u+1]
+		p.uOff[u] = w
+		prio := 0.0
+		deg := int32(0)
 		for i := start; i < end; i++ {
-			if !p.edgeAlive[i] {
+			eid := p.uEid[i]
+			if !p.edgeAlive[eid] {
 				continue
 			}
-			v := g.UserAdjAt(i)
-			userPrio[u] += p.w[v]
-			userDeg[u]++
+			v := p.uAdj[i]
+			p.uAdj[w] = v
+			p.uEid[w] = eid
+			w++
+			wv := p.w[v]
+			prio += wv
+			total += wv
+			deg++
 			merchDeg[v]++
-			total += p.w[v]
 		}
+		userPrio[u] = prio
+		userDeg[u] = deg
+		start = end
 	}
+	p.uOff[nu] = w
 
-	h := indexheap.New(nu + nm)
+	// Merchant-major side: same stable compaction, no arithmetic.
+	wm := int32(0)
+	startM := p.mOff[0]
+	for v := 0; v < nm; v++ {
+		end := p.mOff[v+1]
+		p.mOff[v] = wm
+		for i := startM; i < end; i++ {
+			eid := p.mEid[i]
+			if !p.edgeAlive[eid] {
+				continue
+			}
+			p.mAdj[wm] = p.mAdj[i]
+			p.mEid[wm] = eid
+			wm++
+		}
+		startM = end
+	}
+	p.mOff[nm] = wm
+
+	h := &p.heap
+	h.Reset(nu + nm)
 	nodesAlive := 0
 	for u := 0; u < nu; u++ {
 		if userDeg[u] > 0 {
@@ -80,17 +196,18 @@ func (p *peeler) peelOnce() (Block, bool) {
 	}
 	for v := 0; v < nm; v++ {
 		if merchDeg[v] > 0 {
-			merchPrio[v] = float64(merchDeg[v]) * p.w[v]
-			h.Push(nu+v, merchPrio[v])
+			h.Push(nu+v, float64(merchDeg[v])*p.w[v])
 			nodesAlive++
 		}
 	}
 
 	// Simulate the full deletion sequence, recording φ after t deletions.
-	// phis[0] is the intact alive graph (H_n in Algorithm 1).
-	order := make([]int32, 0, nodesAlive)
-	phis := make([]float64, 1, nodesAlive+1)
-	phis[0] = total / float64(nodesAlive)
+	// phis[0] is the intact alive graph (H_n in Algorithm 1). Neighbor
+	// scans need no liveness checks: every compacted entry is alive for the
+	// whole round (edges die only between rounds).
+	order := p.order[:0]
+	phis := p.phis[:0]
+	phis = append(phis, total/float64(nodesAlive))
 	left := nodesAlive
 	for h.Len() > 0 {
 		id, prio := h.Pop()
@@ -98,26 +215,19 @@ func (p *peeler) peelOnce() (Block, bool) {
 		total -= prio
 		left--
 		if id < nu {
-			u := uint32(id)
-			start, end := g.UserRowRange(u)
-			for i := start; i < end; i++ {
-				if !p.edgeAlive[i] {
-					continue
-				}
-				v := int(g.UserAdjAt(i))
+			s, e := p.uOff[id], p.uOff[id+1]
+			for i := s; i < e; i++ {
+				v := int(p.uAdj[i])
 				if h.Contains(nu + v) {
 					h.Add(nu+v, -p.w[v])
 				}
 			}
 		} else {
-			v := uint32(id - nu)
+			v := id - nu
 			wv := p.w[v]
-			start, end := g.MerchantRowRange(v)
-			for pp := start; pp < end; pp++ {
-				if !p.edgeAlive[p.crossIndex[pp]] {
-					continue
-				}
-				u := int(g.MerchantAdjAt(pp))
+			s, e := p.mOff[v], p.mOff[v+1]
+			for i := s; i < e; i++ {
+				u := int(p.mAdj[i])
 				if h.Contains(u) {
 					h.Add(u, -wv)
 				}
@@ -129,6 +239,7 @@ func (p *peeler) peelOnce() (Block, bool) {
 			phis = append(phis, 0)
 		}
 	}
+	p.order, p.phis = order, phis
 
 	// Best suffix: earliest argmax keeps the largest qualifying subgraph and
 	// makes the result deterministic.
@@ -140,8 +251,8 @@ func (p *peeler) peelOnce() (Block, bool) {
 	}
 
 	// Membership: alive nodes not deleted in the first bestT steps.
-	inBlockUser := make([]bool, nu)
-	inBlockMerch := make([]bool, nm)
+	inBlockUser := scratch.Grow(&p.inBlockUser, nu)
+	inBlockMerch := scratch.Grow(&p.inBlockMerch, nm)
 	for u := 0; u < nu; u++ {
 		inBlockUser[u] = userDeg[u] > 0
 	}
@@ -157,28 +268,41 @@ func (p *peeler) peelOnce() (Block, bool) {
 		}
 	}
 
-	blk := Block{Score: bestPhi}
+	ref := blockRef{uStart: len(p.blockUsers), vStart: len(p.blockMerchants), score: bestPhi}
 	for u := 0; u < nu; u++ {
 		if inBlockUser[u] {
-			blk.Users = append(blk.Users, uint32(u))
+			p.blockUsers = append(p.blockUsers, uint32(u))
 		}
 	}
 	for v := 0; v < nm; v++ {
 		if inBlockMerch[v] {
-			blk.Merchants = append(blk.Merchants, uint32(v))
+			p.blockMerchants = append(p.blockMerchants, uint32(v))
 		}
 	}
+	ref.uEnd, ref.vEnd = len(p.blockUsers), len(p.blockMerchants)
 
 	// Remove the block's internal edges so the next round searches the rest
-	// of the graph (Algorithm 1 line 11).
-	for _, u := range blk.Users {
-		start, end := g.UserRowRange(u)
-		for i := start; i < end; i++ {
-			if p.edgeAlive[i] && inBlockMerch[g.UserAdjAt(i)] {
-				p.edgeAlive[i] = false
+	// of the graph (Algorithm 1 line 11). Only the block's alive rows are
+	// walked; the next round's compaction drops the kills.
+	for i := ref.uStart; i < ref.uEnd; i++ {
+		u := p.blockUsers[i]
+		s, e := p.uOff[u], p.uOff[u+1]
+		for j := s; j < e; j++ {
+			if inBlockMerch[p.uAdj[j]] {
+				p.edgeAlive[p.uEid[j]] = false
 				p.aliveEdges--
 			}
 		}
 	}
-	return blk, true
+	return ref, true
+}
+
+// block materializes ref against the (final) membership arrays. Full slice
+// expressions keep later appends from silently sharing the blocks' tails.
+func (p *peeler) block(ref blockRef) Block {
+	return Block{
+		Users:     p.blockUsers[ref.uStart:ref.uEnd:ref.uEnd],
+		Merchants: p.blockMerchants[ref.vStart:ref.vEnd:ref.vEnd],
+		Score:     ref.score,
+	}
 }

@@ -6,7 +6,7 @@
 package indexheap
 
 // Heap is an indexed min-heap of float64 priorities keyed by dense int ids in
-// [0, capacity). The zero value is not usable; construct with New.
+// [0, capacity). Construct with New, or Reset a zero value.
 type Heap struct {
 	ids   []int32 // heap array of ids
 	pos   []int32 // pos[id] = index in ids, or -1 if absent
@@ -18,15 +18,28 @@ const absent = int32(-1)
 
 // New returns a heap able to hold ids in [0, capacity).
 func New(capacity int) *Heap {
-	h := &Heap{
-		ids:  make([]int32, 0, capacity),
-		pos:  make([]int32, capacity),
-		prio: make([]float64, capacity),
+	h := &Heap{}
+	h.Reset(capacity)
+	return h
+}
+
+// Reset empties the heap and prepares it for ids in [0, capacity), growing
+// storage only when the capacity exceeds anything seen before. It costs
+// O(capacity) — the same as New — but allocates nothing once warm, which is
+// what lets a peeler run round after round without heap churn.
+func (h *Heap) Reset(capacity int) {
+	if cap(h.pos) < capacity {
+		h.pos = make([]int32, capacity)
+		h.prio = make([]float64, capacity)
+		h.ids = make([]int32, 0, capacity)
 	}
+	h.pos = h.pos[:capacity]
+	h.prio = h.prio[:capacity]
+	h.ids = h.ids[:0]
+	h.count = 0
 	for i := range h.pos {
 		h.pos[i] = absent
 	}
-	return h
 }
 
 // Len returns the number of ids currently in the heap.

@@ -176,3 +176,40 @@ func TestPropertyRandomOps(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestResetReuse(t *testing.T) {
+	h := New(4)
+	h.Push(0, 3)
+	h.Push(3, 1)
+	// Reset to a larger capacity: old members must be gone, new ids usable.
+	h.Reset(8)
+	if h.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", h.Len())
+	}
+	for id := 0; id < 8; id++ {
+		if h.Contains(id) {
+			t.Errorf("id %d survived Reset", id)
+		}
+	}
+	h.Push(7, 2)
+	h.Push(3, 1)
+	h.Push(0, 5)
+	if id, p := h.Pop(); id != 3 || p != 1 {
+		t.Errorf("Pop = (%d,%g), want (3,1)", id, p)
+	}
+	// Shrink: capacity stays, semantics follow the new bound.
+	h.Reset(2)
+	h.Push(1, 9)
+	if id, _ := h.Pop(); id != 1 {
+		t.Errorf("Pop after shrink = %d, want 1", id)
+	}
+}
+
+func TestZeroValueReset(t *testing.T) {
+	var h Heap
+	h.Reset(3)
+	h.Push(2, 1.5)
+	if id, p := h.Peek(); id != 2 || p != 1.5 {
+		t.Errorf("Peek = (%d,%g), want (2,1.5)", id, p)
+	}
+}

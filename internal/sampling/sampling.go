@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"ensemfdet/internal/bipartite"
+	"ensemfdet/internal/scratch"
 )
 
 // Method produces one sampled subgraph from a parent graph. Implementations
@@ -38,24 +39,7 @@ func (RandomEdge) Name() string { return "RES" }
 
 // Sample implements Method.
 func (RandomEdge) Sample(g *bipartite.Graph, ratio float64, rng *rand.Rand) *bipartite.Subgraph {
-	m := sampleCount(g.NumEdges(), ratio)
-	idx := sampleIndices(g.NumEdges(), m, rng)
-	sort.Ints(idx)
-	// Single merged pass: idx is sorted, and user-major edge ids are grouped
-	// by user, so we walk users forward as we consume indices.
-	edges := make([]bipartite.Edge, 0, m)
-	u := uint32(0)
-	for _, i := range idx {
-		for {
-			_, end := g.UserRowRange(u)
-			if i < end {
-				break
-			}
-			u++
-		}
-		edges = append(edges, bipartite.Edge{U: u, V: g.UserAdjAt(i)})
-	}
-	return g.InducedByEdges(edges)
+	return SampleInto(RandomEdge{}, g, ratio, rng, new(Scratch)).Detach()
 }
 
 // OneSideNode is ONS (§IV-A3): a uniform sample of ⌈S·n⌉ nodes from one
@@ -72,12 +56,7 @@ func (o OneSideNode) Name() string { return fmt.Sprintf("ONS-%s", o.Side) }
 
 // Sample implements Method.
 func (o OneSideNode) Sample(g *bipartite.Graph, ratio float64, rng *rand.Rand) *bipartite.Subgraph {
-	n := g.NumNodesOn(o.Side)
-	ids := sampleIDs(n, sampleCount(n, ratio), rng)
-	if o.Side == bipartite.UserSide {
-		return g.InducedByUsers(ids)
-	}
-	return g.InducedByMerchants(ids)
+	return SampleInto(o, g, ratio, rng, new(Scratch)).Detach()
 }
 
 // TwoSideNode is TNS (§IV-A4): independent uniform samples of ⌈S·|U|⌉ users
@@ -91,10 +70,7 @@ func (TwoSideNode) Name() string { return "TNS" }
 
 // Sample implements Method.
 func (TwoSideNode) Sample(g *bipartite.Graph, ratio float64, rng *rand.Rand) *bipartite.Subgraph {
-	nu, nm := g.NumUsers(), g.NumMerchants()
-	users := sampleIDs(nu, sampleCount(nu, ratio), rng)
-	merchants := sampleIDs(nm, sampleCount(nm, ratio), rng)
-	return g.InducedByBoth(users, merchants)
+	return SampleInto(TwoSideNode{}, g, ratio, rng, new(Scratch)).Detach()
 }
 
 // ByName returns the sampling method with the given name, one of "RES",
@@ -137,25 +113,95 @@ func sampleCount(n int, ratio float64) int {
 	return m
 }
 
+// Scratch is the reusable per-worker sampler state: the Floyd draw's
+// chosen-set (a bitset with targeted clearing, not a per-call map), the
+// index and id buffers, and the subgraph-build arena. One Scratch per
+// ensemble worker makes every sampling method allocation-free after
+// warm-up.
+//
+// The subgraph returned by SampleInto aliases the scratch's arena and is
+// valid until the next SampleInto with the same scratch. A Scratch must not
+// be shared between goroutines without synchronization. The zero value is
+// ready to use.
+type Scratch struct {
+	// chosenBits is the Floyd draw's chosen-set as a bitset (1 bit per
+	// population element instead of a 4-byte stamp — a 10M-edge parent
+	// costs 1.25MB per arena, not 40MB). The all-zero invariant between
+	// draws is restored by targeted clearing: every set bit is recorded in
+	// idx, so the next draw clears O(previous m) words, never O(n). The
+	// slice's length never shrinks, which keeps every previously set word
+	// reachable for that clearing pass.
+	chosenBits []uint64
+	idx        []int
+	uids       []uint32
+	vids       []uint32
+	arena      bipartite.Arena
+}
+
+// SampleInto draws one subgraph exactly like m.Sample(g, ratio, rng) —
+// identical rng consumption, identical subgraph, identical parent id maps —
+// but builds it in s's buffers. Methods not implemented by this package
+// fall back to m.Sample (allocating).
+func SampleInto(m Method, g *bipartite.Graph, ratio float64, rng *rand.Rand, s *Scratch) *bipartite.Subgraph {
+	switch m := m.(type) {
+	case RandomEdge:
+		n := g.NumEdges()
+		idx := s.sampleIndices(n, sampleCount(n, ratio), rng)
+		sort.Ints(idx)
+		// The sorted draw is the canonical (user-major) edge-id list; the
+		// arena build walks it straight into CSR rows with no intermediate
+		// edge list.
+		return g.InducedByEdgeIDsArena(&s.arena, idx)
+	case OneSideNode:
+		n := g.NumNodesOn(m.Side)
+		ids := s.sampleIDs(&s.uids, n, sampleCount(n, ratio), rng)
+		if m.Side == bipartite.UserSide {
+			return g.InducedByUsersArena(&s.arena, ids)
+		}
+		return g.InducedByMerchantsArena(&s.arena, ids)
+	case TwoSideNode:
+		nu, nm := g.NumUsers(), g.NumMerchants()
+		users := s.sampleIDs(&s.uids, nu, sampleCount(nu, ratio), rng)
+		merchants := s.sampleIDs(&s.vids, nm, sampleCount(nm, ratio), rng)
+		return g.InducedByBothArena(&s.arena, users, merchants)
+	default:
+		return m.Sample(g, ratio, rng)
+	}
+}
+
 // sampleIndices draws m distinct ints from [0, n) using Floyd's algorithm,
-// O(m) expected time and memory independent of n.
-func sampleIndices(n, m int, rng *rand.Rand) []int {
-	chosen := make(map[int]bool, m)
-	out := make([]int, 0, m)
+// O(m) expected time. The chosen-set is the scratch's bitset; the rng
+// consumption and output order are identical to the historical map-backed
+// implementation, which is what keeps fixed-seed ensembles byte-identical
+// across the allocating and scratch paths.
+func (s *Scratch) sampleIndices(n, m int, rng *rand.Rand) []int {
+	// Restore the bitset's all-zero invariant by clearing exactly the words
+	// the previous draw touched (their only set bits are that draw's — the
+	// invariant held before it ran). Clear before any resize: a fresh
+	// allocation below relies on the old array being discardable as
+	// all-zero-equivalent.
+	for _, j := range s.idx {
+		s.chosenBits[j>>6] = 0
+	}
+	if words := (n + 63) >> 6; len(s.chosenBits) < words {
+		s.chosenBits = make([]uint64, words)
+	}
+	out := s.idx[:0]
 	for i := n - m; i < n; i++ {
 		j := rng.Intn(i + 1)
-		if chosen[j] {
+		if s.chosenBits[j>>6]&(1<<(j&63)) != 0 {
 			j = i
 		}
-		chosen[j] = true
+		s.chosenBits[j>>6] |= 1 << (j & 63)
 		out = append(out, j)
 	}
+	s.idx = out
 	return out
 }
 
-func sampleIDs(n, m int, rng *rand.Rand) []uint32 {
-	idx := sampleIndices(n, m, rng)
-	ids := make([]uint32, len(idx))
+func (s *Scratch) sampleIDs(buf *[]uint32, n, m int, rng *rand.Rand) []uint32 {
+	idx := s.sampleIndices(n, m, rng)
+	ids := scratch.Grow(buf, len(idx))
 	for i, x := range idx {
 		ids[i] = uint32(x)
 	}

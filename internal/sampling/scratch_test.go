@@ -1,0 +1,84 @@
+package sampling
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ensemfdet/internal/bipartite"
+)
+
+// snapshotSubgraph deep-copies the parts of a subgraph a later arena build
+// would overwrite, so two draws from one scratch can be compared.
+type subgraphSnapshot struct {
+	edges       []bipartite.Edge
+	userIDs     []uint32
+	merchantIDs []uint32
+}
+
+func snapshot(sg *bipartite.Subgraph) subgraphSnapshot {
+	return subgraphSnapshot{
+		edges:       sg.EdgeList(),
+		userIDs:     append([]uint32{}, sg.UserIDs...),
+		merchantIDs: append([]uint32{}, sg.MerchantIDs...),
+	}
+}
+
+// TestSampleIntoMatchesSample proves the scratch path draws exactly the
+// subgraph the allocating path draws — same rng consumption, same edges,
+// same parent id maps — for every method, across repeated reuse of one
+// scratch (the ensemble worker's access pattern).
+func TestSampleIntoMatchesSample(t *testing.T) {
+	g := randomGraph(11, 120, 90, 900)
+	for _, m := range All() {
+		s := new(Scratch)
+		rngA := rand.New(rand.NewSource(5))
+		rngB := rand.New(rand.NewSource(5))
+		for draw := 0; draw < 6; draw++ {
+			ratio := 0.05 + 0.15*float64(draw)
+			got := snapshot(SampleInto(m, g, ratio, rngA, s))
+			want := snapshot(m.Sample(g, ratio, rngB))
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s draw %d (S=%.2f): scratch draw differs from allocating draw", m.Name(), draw, ratio)
+			}
+		}
+	}
+}
+
+// TestSampleIntoAcrossGraphs reuses one scratch against parents of very
+// different sizes, mimicking the serving engine's arena pool surviving
+// stream-graph versions.
+func TestSampleIntoAcrossGraphs(t *testing.T) {
+	big := randomGraph(21, 300, 260, 4000)
+	small := randomGraph(22, 10, 8, 30)
+	s := new(Scratch)
+	for i := 0; i < 3; i++ {
+		for _, g := range []*bipartite.Graph{big, small} {
+			for _, m := range All() {
+				rngA := rand.New(rand.NewSource(int64(i) + 100))
+				rngB := rand.New(rand.NewSource(int64(i) + 100))
+				got := snapshot(SampleInto(m, g, 0.3, rngA, s))
+				want := snapshot(m.Sample(g, 0.3, rngB))
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s on %v: reuse across graphs changed the draw", m.Name(), g)
+				}
+			}
+		}
+	}
+}
+
+// fallbackMethod is a Method unknown to SampleInto's type switch.
+type fallbackMethod struct{}
+
+func (fallbackMethod) Name() string { return "custom" }
+func (fallbackMethod) Sample(g *bipartite.Graph, ratio float64, rng *rand.Rand) *bipartite.Subgraph {
+	return g.InducedByUsers([]uint32{0})
+}
+
+func TestSampleIntoFallsBackForUnknownMethods(t *testing.T) {
+	g := randomGraph(31, 20, 20, 60)
+	sg := SampleInto(fallbackMethod{}, g, 0.5, rand.New(rand.NewSource(1)), new(Scratch))
+	if sg.NumUsers() != 1 || sg.ParentUser(0) != 0 {
+		t.Errorf("fallback did not delegate to Method.Sample: %v", sg)
+	}
+}

@@ -1,0 +1,83 @@
+package scratch
+
+import "testing"
+
+func TestGrowReusesCapacity(t *testing.T) {
+	var buf []int
+	a := Grow(&buf, 8)
+	if len(a) != 8 {
+		t.Fatalf("len = %d, want 8", len(a))
+	}
+	a[7] = 42
+	b := Grow(&buf, 4)
+	if len(b) != 4 || cap(b) < 8 {
+		t.Fatalf("shrink: len=%d cap=%d, want len 4 cap ≥ 8", len(b), cap(b))
+	}
+	c := Grow(&buf, 8)
+	if &c[0] != &a[0] {
+		t.Error("grow within capacity reallocated")
+	}
+	if c[7] != 42 {
+		t.Error("Grow must not clear surviving elements")
+	}
+}
+
+func TestGrowZero(t *testing.T) {
+	var buf []float64
+	a := GrowZero(&buf, 3)
+	a[0], a[1], a[2] = 1, 2, 3
+	b := GrowZero(&buf, 2)
+	if b[0] != 0 || b[1] != 0 {
+		t.Errorf("GrowZero left stale values: %v", b)
+	}
+}
+
+func TestStampsBasics(t *testing.T) {
+	var s Stamps
+	s.Reset(4)
+	if s.Has(0) || s.Has(3) {
+		t.Error("fresh set not empty")
+	}
+	if !s.TryAdd(2) {
+		t.Error("first TryAdd(2) = false")
+	}
+	if s.TryAdd(2) {
+		t.Error("second TryAdd(2) = true")
+	}
+	s.Add(0)
+	if !s.Has(0) || !s.Has(2) || s.Has(1) {
+		t.Error("membership wrong after adds")
+	}
+	s.Reset(4)
+	for i := 0; i < 4; i++ {
+		if s.Has(i) {
+			t.Errorf("id %d survived Reset", i)
+		}
+	}
+}
+
+func TestStampsShrinkThenGrow(t *testing.T) {
+	var s Stamps
+	s.Reset(8)
+	for i := 0; i < 8; i++ {
+		s.Add(i)
+	}
+	s.Reset(2)
+	s.Reset(8) // re-expose indices 2..7 from the first generation
+	for i := 0; i < 8; i++ {
+		if s.Has(i) {
+			t.Errorf("stale mark resurfaced at %d", i)
+		}
+	}
+}
+
+func TestStampsWraparound(t *testing.T) {
+	s := Stamps{mark: []uint32{^uint32(0), 0}, cur: ^uint32(0)}
+	s.Reset(2) // cur wraps to 0 → must clear and restart at 1
+	if s.cur != 1 {
+		t.Fatalf("cur = %d, want 1 after wrap", s.cur)
+	}
+	if s.Has(0) || s.Has(1) {
+		t.Error("marks survived generation wraparound")
+	}
+}

@@ -164,6 +164,15 @@ type Engine struct {
 	opts Options
 	sem  chan struct{} // bounds concurrent ensemble runs
 
+	// arenas is shared by every ensemble run this engine launches: each run
+	// draws one arena per worker and returns it afterwards, so scratch
+	// state (sampler buffers, remapper tables, peeler state, vote
+	// accumulators) persists per worker across requests and graph versions
+	// instead of being rebuilt per request. Arenas are pure scratch —
+	// results are byte-identical for a fixed seed — so sharing never leaks
+	// state between cache keys.
+	arenas *core.ArenaPool
+
 	mu    sync.Mutex
 	cache map[cacheKey]*entry
 	order []cacheKey // insertion order, for FIFO eviction
@@ -176,10 +185,11 @@ type Engine struct {
 // NewEngine returns an Engine serving detections over src.
 func NewEngine(src *stream.Graph, opts Options) *Engine {
 	return &Engine{
-		src:   src,
-		opts:  opts,
-		sem:   make(chan struct{}, opts.maxConcurrent()),
-		cache: make(map[cacheKey]*entry),
+		src:    src,
+		opts:   opts,
+		sem:    make(chan struct{}, opts.maxConcurrent()),
+		arenas: core.NewArenaPool(),
+		cache:  make(map[cacheKey]*entry),
 	}
 }
 
@@ -312,6 +322,7 @@ func (e *Engine) run(key cacheKey, ent *entry, snap *bipartite.Graph, p Params) 
 		SampleRatio: n.SampleRatio,
 		Seed:        n.Seed,
 		Parallelism: p.Parallelism,
+		Arenas:      e.arenas,
 	})
 	if err != nil {
 		ent.err = err
