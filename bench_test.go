@@ -10,7 +10,10 @@ package ensemfdet_test
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"ensemfdet"
@@ -309,6 +312,91 @@ func BenchmarkStreamSnapshot(b *testing.B) {
 		if snap, _ := sg.Snapshot(); snap.NumEdges() == 0 {
 			b.Fatal("empty snapshot")
 		}
+	}
+}
+
+// BenchmarkIngestParallel measures multi-producer append throughput: 8
+// goroutines ingest an identical deterministic sequence of 256-edge batches
+// into a 1-shard graph (the old single-mutex spine) and an 8-shard graph.
+// The shards=8/shards=1 edges/s ratio is the sharding win; the edge sequence
+// cycles a 2^22-pair space so memory stays bounded at any b.N.
+func BenchmarkIngestParallel(b *testing.B) {
+	const (
+		workers = 8
+		batch   = 256
+	)
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			sg := ensemfdet.NewStreamGraphSharded(shards)
+			var next atomic.Int64
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					buf := make([]bipartite.Edge, batch)
+					for {
+						i := next.Add(1) - 1
+						if i >= int64(b.N) {
+							return
+						}
+						for j := range buf {
+							// Cheap deterministic unique-ish pairs: the same
+							// sequence regardless of scheduling, so both
+							// shard counts ingest identical workloads.
+							k := (uint64(i)*batch + uint64(j)) & (1<<22 - 1)
+							h := (k + 1) * 0x9E3779B97F4A7C15
+							buf[j] = bipartite.Edge{
+								U: uint32(h>>40) & (1<<20 - 1),
+								V: uint32(h>>20) & (1<<18 - 1),
+							}
+						}
+						sg.Append(buf)
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "edges/s")
+		})
+	}
+}
+
+// BenchmarkSnapshotDelta measures the incremental snapshot path: a fixed
+// 64-edge delta against base graphs of different sizes. The point of the
+// sub-benchmark pair is the allocs/op column — it must be identical across
+// base sizes (the delta build allocates its four output arrays and per-build
+// bookkeeping, never O(|E|) scratch), which the CI allocs gate pins.
+func BenchmarkSnapshotDelta(b *testing.B) {
+	for _, size := range []int{1 << 15, 1 << 17} {
+		b.Run(fmt.Sprintf("E=%d", size), func(b *testing.B) {
+			sg := ensemfdet.NewStreamGraphSharded(8)
+			sg.Append(benchEdgePool(size))
+			sg.Snapshot() // pay the initial full build outside the loop
+			const delta = 64
+			buf := make([]bipartite.Edge, delta)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range buf {
+					// A fresh merchant id per iteration guarantees every
+					// delta edge is new without unbounded user growth.
+					buf[j] = bipartite.Edge{
+						U: uint32((uint64(i)*delta + uint64(j)) * 2654435761 & (1<<20 - 1)),
+						V: uint32(1<<18 + i),
+					}
+				}
+				sg.Append(buf)
+				if snap, _ := sg.Snapshot(); snap.NumEdges() == 0 {
+					b.Fatal("empty snapshot")
+				}
+			}
+			b.StopTimer()
+			if bs := sg.BuildStats(); bs.DeltaBuilds != uint64(b.N) {
+				b.Fatalf("delta path used for %d of %d snapshots", bs.DeltaBuilds, b.N)
+			}
+		})
 	}
 }
 

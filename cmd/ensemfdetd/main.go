@@ -4,21 +4,28 @@
 //
 // Usage:
 //
-//	ensemfdetd [-addr :8080] [-load transactions.tsv] [-max-concurrent 2] [-cache-size 32]
+//	ensemfdetd [-addr :8080] [-load transactions.tsv] [-shards 0] [-max-concurrent 2] [-cache-size 32]
 //
-// The API (all JSON):
+// The API (JSON unless noted):
 //
 //	POST /v1/edges   {"edges": [[u,v], ...]}            batched ingest
 //	POST /v1/detect  {"t":40,"n":80,"s":0.1,            run/serve a detection
 //	                  "sampler":"RES","seed":1}
 //	GET  /v1/votes   ?n=&s=&sampler=&seed=&min=&top=    ranked vote counts
-//	GET  /v1/stats                                      graph + cache counters
+//	GET  /v1/stats                                      graph + cache + shard + build counters
+//	GET  /metrics                                       the same, Prometheus text format
 //	GET  /healthz                                       liveness
 //
 // Detection results are cached per (graph version, config): sweeping the
 // vote threshold T, re-querying, or ranking against an unchanged graph
 // never re-runs the ensemble. Ingesting new (non-duplicate) edges bumps the
 // graph version and naturally invalidates the cache.
+//
+// Ingest is sharded across -shards user-range partitions (0 picks a power
+// of two near GOMAXPROCS) so concurrent producers scale across cores, and
+// snapshots are built incrementally from per-shard deltas; /v1/stats and
+// /metrics expose per-shard sizes and the delta-vs-full build counts. Shard
+// count never affects detection results.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests for up to -drain seconds.
@@ -50,6 +57,7 @@ func run() error {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
 		load     = flag.String("load", "", "optional edge-list file to ingest at startup")
+		shards   = flag.Int("shards", 0, "ingest shard count, rounded up to a power of two (0 = near GOMAXPROCS)")
 		maxConc  = flag.Int("max-concurrent", 2, "maximum concurrent ensemble runs")
 		cacheCap = flag.Int("cache-size", 32, "maximum cached vote sets")
 		maxNode  = flag.Uint("max-node-id", 0, "largest accepted node id (0 = default 2^26)")
@@ -59,8 +67,12 @@ func run() error {
 	if *maxNode > ensemfdet.MaxNodeID {
 		return fmt.Errorf("-max-node-id %d exceeds the id space (max %d)", *maxNode, uint64(ensemfdet.MaxNodeID))
 	}
+	if *shards < 0 || *shards > ensemfdet.MaxStreamShards {
+		return fmt.Errorf("-shards %d out of range [0,%d]", *shards, ensemfdet.MaxStreamShards)
+	}
 
-	sg := ensemfdet.NewStreamGraph()
+	sg := ensemfdet.NewStreamGraphSharded(*shards)
+	log.Printf("ingest sharding: %d shards", sg.NumShards())
 	engine := ensemfdet.NewDetectEngine(sg, ensemfdet.EngineOptions{
 		MaxConcurrent:   *maxConc,
 		MaxCacheEntries: *cacheCap,

@@ -278,11 +278,25 @@ func DensityScore(g *Graph, cfg Config) float64 {
 const MaxNodeID = bipartite.MaxNodeID
 
 // StreamGraph is a mutable, concurrency-safe dynamic bipartite graph with a
-// monotonic version counter and cached immutable snapshots.
+// monotonic version counter and cached immutable snapshots. Ingest is
+// sharded across user-range partitions for multi-core writers, and
+// snapshots are built incrementally from per-shard deltas; neither affects
+// detection results.
 type StreamGraph = stream.Graph
 
-// NewStreamGraph returns an empty dynamic graph at version 0.
+// NewStreamGraph returns an empty dynamic graph at version 0 with a default
+// shard count near GOMAXPROCS.
 func NewStreamGraph() *StreamGraph { return stream.New() }
+
+// MaxStreamShards is the largest accepted ingest shard count.
+const MaxStreamShards = stream.MaxShards
+
+// NewStreamGraphSharded returns an empty dynamic graph with the given ingest
+// shard count, rounded up to a power of two and clamped to
+// [1, MaxStreamShards]; 0 selects the default. Shard count trades write
+// concurrency against per-batch scan overhead and is invisible to readers:
+// snapshots — and therefore votes — are byte-identical across shard counts.
+func NewStreamGraphSharded(shards int) *StreamGraph { return stream.NewSharded(shards) }
 
 // DetectEngine serves detection queries over a StreamGraph from a vote
 // cache, single-flighting concurrent identical requests.

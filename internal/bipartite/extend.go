@@ -1,0 +1,266 @@
+package bipartite
+
+import (
+	"fmt"
+	"slices"
+
+	"ensemfdet/internal/scratch"
+)
+
+// ExtendBuilder constructs a new immutable Graph from a previous Graph plus a
+// batch of delta edges, without re-sorting or re-scattering the edges the
+// previous graph already laid out. It is the incremental half of the
+// streaming snapshot path: a full rebuild pays O(|E| log |E|) to sort the
+// whole edge log, while Extend pays O(|Δ| log |Δ|) to sort only the delta and
+// then merges it into the previous CSR — unaffected rows are block-copied,
+// affected rows are two-pointer merged, and the merchant side is derived the
+// same way from the delta sorted merchant-major.
+//
+// The output is byte-identical to what a full build over the union edge set
+// produces: merged rows stay strictly sorted and deduplicated, so the CSR is
+// the same canonical function of (numUsers, numMerchants, edge set) that
+// buildFromEdges computes.
+//
+// The builder itself is a reusable arena in the PR-2 sense: its sorted-delta
+// and survivor buffers are grown in place (internal/scratch) and recycled
+// across builds, so a warm Extend performs exactly the four output-array
+// allocations an immutable snapshot requires — allocs/op is independent of
+// both |E| and |Δ|. An ExtendBuilder must not be used from multiple
+// goroutines concurrently; the stream layer guards its builder with the
+// single-flight build lock.
+type ExtendBuilder struct {
+	ud []Edge // delta sorted user-major, deduped within the batch
+	vd []Edge // surviving delta (not already in prev) sorted merchant-major
+}
+
+// NewExtendBuilder returns an empty builder; buffers grow lazily.
+func NewExtendBuilder() *ExtendBuilder { return &ExtendBuilder{} }
+
+func cmpUserMajor(a, b Edge) int {
+	if a.U != b.U {
+		if a.U < b.U {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case a.V < b.V:
+		return -1
+	case a.V > b.V:
+		return 1
+	}
+	return 0
+}
+
+func cmpMerchantMajor(a, b Edge) int {
+	if a.V != b.V {
+		if a.V < b.V {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case a.U < b.U:
+		return -1
+	case a.U > b.U:
+		return 1
+	}
+	return 0
+}
+
+// Extend returns the graph over prev's edges plus delta, with at least the
+// given side sizes (they are raised to cover prev and every delta id, so
+// passing the caller's tracked maxima is enough). Delta edges already present
+// in prev, or repeated within delta, are merged away exactly as a full build
+// would. prev is never modified; delta is read, not retained.
+func (b *ExtendBuilder) Extend(prev *Graph, delta []Edge, numUsers, numMerchants int) *Graph {
+	if prev == nil {
+		prev = &Graph{}
+	}
+	numUsers = max(numUsers, prev.NumUsers())
+	numMerchants = max(numMerchants, prev.NumMerchants())
+	for _, e := range delta {
+		numUsers = max(numUsers, int(e.U)+1)
+		numMerchants = max(numMerchants, int(e.V)+1)
+	}
+
+	ud := scratch.Grow(&b.ud, len(delta))
+	copy(ud, delta)
+	slices.SortFunc(ud, cmpUserMajor)
+	w := 0
+	for i, e := range ud {
+		if i == 0 || e != ud[i-1] {
+			ud[w] = e
+			w++
+		}
+	}
+	ud = ud[:w]
+
+	uoff, uadj := b.mergeUserSide(prev, ud, numUsers)
+
+	// The user-side merge recorded which delta edges were genuinely new
+	// (survivors); the merchant side merges exactly those, sorted
+	// merchant-major, so both CSR directions describe the same edge set.
+	vd := b.vd
+	slices.SortFunc(vd, cmpMerchantMajor)
+	moff, madj := mergeMerchantSide(prev, vd, numMerchants, len(uadj))
+
+	return &Graph{userOff: uoff, userAdj: uadj, merchOff: moff, merchAdj: madj}
+}
+
+// mergeUserSide lays out the user-major CSR: rows without delta edges are
+// block-copied from prev (offsets shifted by the running insertion count),
+// rows with delta edges are merged. Survivors are collected into b.vd.
+func (b *ExtendBuilder) mergeUserSide(prev *Graph, ud []Edge, numUsers int) ([]int, []uint32) {
+	prevNU := prev.NumUsers()
+	prevE := prev.NumEdges()
+	uoff := make([]int, numUsers+1)
+	uadj := make([]uint32, prevE+len(ud))
+	vd := b.vd[:0]
+
+	w := 0 // write cursor into uadj
+	u := 0 // next row to lay out
+	for di := 0; di < len(ud); {
+		au := int(ud[di].U) // next affected row
+		if u < au && u < prevNU {
+			// Bulk-copy the untouched rows [u, min(au, prevNU)): one memcpy
+			// for the adjacency, shifted offsets for the rows.
+			end := min(au, prevNU)
+			lo, hi := prev.userOff[u], prev.userOff[end]
+			copy(uadj[w:], prev.userAdj[lo:hi])
+			shift := w - lo
+			for i := u; i < end; i++ {
+				uoff[i] = prev.userOff[i] + shift
+			}
+			w += hi - lo
+			u = end
+		}
+		for ; u < au; u++ { // rows beyond prev with no delta: empty
+			uoff[u] = w
+		}
+
+		// Merge row au: prev's sorted row with the delta run for au.
+		uoff[au] = w
+		dj := di
+		for dj < len(ud) && int(ud[dj].U) == au {
+			dj++
+		}
+		var row []uint32
+		if au < prevNU {
+			row = prev.UserNeighbors(uint32(au))
+		}
+		ri := 0
+		for ri < len(row) || di < dj {
+			switch {
+			case di == dj || (ri < len(row) && row[ri] < ud[di].V):
+				uadj[w] = row[ri]
+				ri++
+				w++
+			case ri < len(row) && row[ri] == ud[di].V:
+				di++ // already present: delta edge merges away
+			default:
+				uadj[w] = ud[di].V
+				vd = append(vd, ud[di])
+				di++
+				w++
+			}
+		}
+		u = au + 1
+	}
+	if u < prevNU { // untouched tail of prev
+		lo := prev.userOff[u]
+		copy(uadj[w:], prev.userAdj[lo:prevE])
+		shift := w - lo
+		for i := u; i < prevNU; i++ {
+			uoff[i] = prev.userOff[i] + shift
+		}
+		w += prevE - lo
+		u = prevNU
+	}
+	for ; u <= numUsers; u++ {
+		uoff[u] = w
+	}
+	b.vd = vd
+	return uoff, uadj[:w]
+}
+
+// mergeMerchantSide mirrors mergeUserSide for the merchant-major direction.
+// vd holds only edges absent from prev, so no equality case can arise; the
+// wantEdges cross-check catches any desync between the two directions.
+func mergeMerchantSide(prev *Graph, vd []Edge, numMerchants, wantEdges int) ([]int, []uint32) {
+	prevNM := prev.NumMerchants()
+	prevE := prev.NumEdges()
+	moff := make([]int, numMerchants+1)
+	madj := make([]uint32, prevE+len(vd))
+
+	w := 0
+	v := 0
+	for di := 0; di < len(vd); {
+		av := int(vd[di].V)
+		if v < av && v < prevNM {
+			end := min(av, prevNM)
+			lo, hi := prev.merchOff[v], prev.merchOff[end]
+			copy(madj[w:], prev.merchAdj[lo:hi])
+			shift := w - lo
+			for i := v; i < end; i++ {
+				moff[i] = prev.merchOff[i] + shift
+			}
+			w += hi - lo
+			v = end
+		}
+		for ; v < av; v++ {
+			moff[v] = w
+		}
+
+		moff[av] = w
+		dj := di
+		for dj < len(vd) && int(vd[dj].V) == av {
+			dj++
+		}
+		var row []uint32
+		if av < prevNM {
+			row = prev.MerchantNeighbors(uint32(av))
+		}
+		ri := 0
+		for ri < len(row) || di < dj {
+			if di == dj || (ri < len(row) && row[ri] < vd[di].U) {
+				madj[w] = row[ri]
+				ri++
+			} else {
+				madj[w] = vd[di].U
+				di++
+			}
+			w++
+		}
+		v = av + 1
+	}
+	if v < prevNM {
+		lo := prev.merchOff[v]
+		copy(madj[w:], prev.merchAdj[lo:prevE])
+		shift := w - lo
+		for i := v; i < prevNM; i++ {
+			moff[i] = prev.merchOff[i] + shift
+		}
+		w += prevE - lo
+		v = prevNM
+	}
+	for ; v <= numMerchants; v++ {
+		moff[v] = w
+	}
+	if w != wantEdges {
+		panic(fmt.Sprintf("bipartite: extend desync: user side has %d edges, merchant side %d", wantEdges, w))
+	}
+	return moff, madj[:w]
+}
+
+// Rebuild is the full-build fallback for when a delta is too large for Extend
+// to pay off: it constructs the graph from the complete edge list, exactly as
+// Builder.Build would. edges is sorted in place and not retained, so callers
+// may hand in a reusable scratch buffer.
+func (b *ExtendBuilder) Rebuild(numUsers, numMerchants int, edges []Edge) *Graph {
+	for _, e := range edges {
+		numUsers = max(numUsers, int(e.U)+1)
+		numMerchants = max(numMerchants, int(e.V)+1)
+	}
+	return buildFromEdges(numUsers, numMerchants, edges)
+}

@@ -1,0 +1,126 @@
+package bipartite
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// graphsIdentical reports whether two graphs have byte-identical CSR arrays.
+// Both directions are compared so a desync between them cannot hide.
+func graphsIdentical(a, b *Graph) bool {
+	return reflect.DeepEqual(a.userOff, b.userOff) &&
+		reflect.DeepEqual(a.userAdj, b.userAdj) &&
+		reflect.DeepEqual(a.merchOff, b.merchOff) &&
+		reflect.DeepEqual(a.merchAdj, b.merchAdj)
+}
+
+func mustFromEdges(t *testing.T, nu, nm int, edges []Edge) *Graph {
+	t.Helper()
+	g, err := FromEdges(nu, nm, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestExtendMatchesFullBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	base := make([]Edge, 0, 600)
+	for i := 0; i < 600; i++ {
+		base = append(base, Edge{U: uint32(rng.Intn(80)), V: uint32(rng.Intn(60))})
+	}
+	prev := mustFromEdges(t, 80, 60, base)
+
+	cases := []struct {
+		name  string
+		delta []Edge
+	}{
+		{"empty", nil},
+		{"single new", []Edge{{U: 3, V: 59}}},
+		{"new user row beyond prev", []Edge{{U: 200, V: 5}, {U: 200, V: 3}}},
+		{"new merchant column beyond prev", []Edge{{U: 0, V: 300}}},
+		{"duplicate of prev only", []Edge{base[0], base[1]}},
+		{"duplicates within delta", []Edge{{U: 90, V: 7}, {U: 90, V: 7}, {U: 90, V: 2}}},
+		{"mixed", append([]Edge{{U: 79, V: 59}, {U: 0, V: 0}, {U: 150, V: 90}, {U: 150, V: 90}}, base[10:20]...)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := NewExtendBuilder().Extend(prev, tc.delta, 0, 0)
+			if err := got.Validate(); err != nil {
+				t.Fatalf("extended graph invalid: %v", err)
+			}
+			union := append(append([]Edge(nil), base...), tc.delta...)
+			want := mustFromEdges(t, got.NumUsers(), got.NumMerchants(), union)
+			if !graphsIdentical(got, want) {
+				t.Fatalf("extend diverged from full build:\n got %v\nwant %v", got, want)
+			}
+		})
+	}
+}
+
+// TestExtendChained grows a graph through many random delta rounds on one
+// reused builder and checks every intermediate result against a from-scratch
+// build — the exact access pattern of the streaming snapshot path.
+func TestExtendChained(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := NewExtendBuilder()
+	var all []Edge
+	cur := NewExtendBuilder().Extend(nil, nil, 0, 0)
+	for round := 0; round < 30; round++ {
+		delta := make([]Edge, 0, 40)
+		for i := 0; i < 1+rng.Intn(40); i++ {
+			delta = append(delta, Edge{U: uint32(rng.Intn(120)), V: uint32(rng.Intn(90))})
+		}
+		cur = b.Extend(cur, delta, 0, 0)
+		all = append(all, delta...)
+		if err := cur.Validate(); err != nil {
+			t.Fatalf("round %d: invalid: %v", round, err)
+		}
+		want := mustFromEdges(t, cur.NumUsers(), cur.NumMerchants(), all)
+		if !graphsIdentical(cur, want) {
+			t.Fatalf("round %d: extend diverged from full build", round)
+		}
+	}
+	if cur.NumEdges() == 0 {
+		t.Fatal("chain produced an empty graph")
+	}
+}
+
+func TestExtendRaisesDeclaredSizes(t *testing.T) {
+	g := NewExtendBuilder().Extend(nil, []Edge{{U: 5, V: 9}}, 100, 200)
+	if g.NumUsers() != 100 || g.NumMerchants() != 200 {
+		t.Fatalf("declared sizes not honoured: %v", g)
+	}
+	if !g.HasEdge(5, 9) {
+		t.Fatal("edge missing")
+	}
+}
+
+// TestExtendAllocsIndependentOfGraphSize pins the delta path's allocation
+// contract: for a fixed delta, a warm builder allocates the same number of
+// times no matter how large the base graph is (the four output arrays plus
+// nothing per |E|).
+func TestExtendAllocsIndependentOfGraphSize(t *testing.T) {
+	counts := make(map[int]float64)
+	for _, sz := range []int{1 << 12, 1 << 15} {
+		rng := rand.New(rand.NewSource(3))
+		edges := make([]Edge, 0, sz)
+		for i := 0; i < sz; i++ {
+			edges = append(edges, Edge{U: uint32(rng.Intn(sz / 8)), V: uint32(rng.Intn(sz / 8))})
+		}
+		prev := mustFromEdges(t, sz/8, sz/8, edges)
+		b := NewExtendBuilder()
+		delta := []Edge{{U: 1, V: 2}, {U: 3, V: 4}, {U: 5, V: 6}, {U: 7, V: 8}}
+		b.Extend(prev, delta, 0, 0) // warm the builder's scratch
+		counts[sz] = testing.AllocsPerRun(10, func() {
+			b.Extend(prev, delta, 0, 0)
+		})
+	}
+	if counts[1<<12] != counts[1<<15] {
+		t.Errorf("allocs/op scales with |E|: %v", counts)
+	}
+	if counts[1<<15] > 8 {
+		t.Errorf("delta extend allocates %v times, want <= 8", counts[1<<15])
+	}
+}

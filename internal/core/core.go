@@ -51,6 +51,24 @@ type Config struct {
 	// affect results — votes are byte-identical for a fixed Seed either
 	// way — so the field is excluded from cache fingerprints.
 	Arenas *ArenaPool
+	// Scratch, when non-nil, backs the Output's per-sample arrays (KHats,
+	// SampleWork, and the BlockScores spine under CollectScores) with
+	// reusable buffers instead of fresh allocations. The serving layer keeps
+	// a small pool of these so repeated cold detections stop allocating
+	// per-run output scaffolding. The returned Output's per-sample fields
+	// then alias the scratch and are invalidated by the next Run using it;
+	// Votes is always freshly allocated and safe to retain. Like Arenas,
+	// Scratch never affects results.
+	Scratch *RunScratch
+}
+
+// RunScratch holds the reusable per-run output buffers selected by
+// Config.Scratch. The zero value is ready; buffers grow in place. A
+// RunScratch must not back two concurrent Runs.
+type RunScratch struct {
+	khats  []int
+	work   []time.Duration
+	scores [][]float64
 }
 
 // Defaults for the paper's main experimental setting (§V-C1).
@@ -237,11 +255,21 @@ func Run(g *bipartite.Graph, cfg Config) (*Output, error) {
 			Merchant:   make([]int, g.NumMerchants()),
 			NumSamples: n,
 		},
-		KHats:      make([]int, n),
-		SampleWork: make([]time.Duration, n),
 	}
-	if cfg.CollectScores {
-		out.BlockScores = make([][]float64, n)
+	if s := cfg.Scratch; s != nil {
+		// Every index is overwritten by its sample before Run returns
+		// successfully, so growing without zeroing is safe.
+		out.KHats = scratch.Grow(&s.khats, n)
+		out.SampleWork = scratch.Grow(&s.work, n)
+		if cfg.CollectScores {
+			out.BlockScores = scratch.Grow(&s.scores, n)
+		}
+	} else {
+		out.KHats = make([]int, n)
+		out.SampleWork = make([]time.Duration, n)
+		if cfg.CollectScores {
+			out.BlockScores = make([][]float64, n)
+		}
 	}
 
 	pool := cfg.Arenas

@@ -146,6 +146,19 @@ func (o Options) maxNodeID() uint32 {
 // enforces it per batch).
 func (e *Engine) MaxNodeID() uint32 { return e.opts.maxNodeID() }
 
+// Snapshotter is the engine's seam to the dynamic graph: anything that can
+// ingest edge batches, report sizes, and hand out immutable versioned
+// snapshots can sit behind the engine. *stream.Graph is the production
+// implementation; tests can substitute fakes. Implementations may
+// additionally expose ShardSizes() []stream.ShardSize and
+// BuildStats() stream.BuildStats, which Stats and the metrics endpoint
+// surface when present.
+type Snapshotter interface {
+	Snapshot() (*bipartite.Graph, uint64)
+	Append(edges []bipartite.Edge) stream.AppendResult
+	Stats() stream.Stats
+}
+
 type cacheKey struct {
 	version uint64
 	config  string
@@ -160,7 +173,7 @@ type entry struct {
 // Engine serves detection queries over a dynamic graph from a vote cache.
 // It is safe for concurrent use.
 type Engine struct {
-	src  *stream.Graph
+	src  Snapshotter
 	opts Options
 	sem  chan struct{} // bounds concurrent ensemble runs
 
@@ -173,6 +186,11 @@ type Engine struct {
 	// state between cache keys.
 	arenas *core.ArenaPool
 
+	// outScratch recycles the per-run output scaffolding (kˆ array, sample
+	// work array, φ-curve spine) across cold runs, one slot per concurrent
+	// run. Votes are never pooled — cached entries retain them.
+	outScratch chan *core.RunScratch
+
 	mu    sync.Mutex
 	cache map[cacheKey]*entry
 	order []cacheKey // insertion order, for FIFO eviction
@@ -180,16 +198,21 @@ type Engine struct {
 	hits   atomic.Uint64
 	misses atomic.Uint64
 	runs   atomic.Uint64 // completed ensemble runs (cold computations)
+
+	ingestBatches atomic.Uint64
+	ingestEdges   atomic.Uint64 // edges actually added (post-dedup)
+	ingestDups    atomic.Uint64
 }
 
 // NewEngine returns an Engine serving detections over src.
-func NewEngine(src *stream.Graph, opts Options) *Engine {
+func NewEngine(src Snapshotter, opts Options) *Engine {
 	return &Engine{
-		src:    src,
-		opts:   opts,
-		sem:    make(chan struct{}, opts.maxConcurrent()),
-		arenas: core.NewArenaPool(),
-		cache:  make(map[cacheKey]*entry),
+		src:        src,
+		opts:       opts,
+		sem:        make(chan struct{}, opts.maxConcurrent()),
+		arenas:     core.NewArenaPool(),
+		outScratch: make(chan *core.RunScratch, opts.maxConcurrent()),
+		cache:      make(map[cacheKey]*entry),
 	}
 }
 
@@ -316,6 +339,16 @@ func (e *Engine) run(key cacheKey, ent *entry, snap *bipartite.Graph, p Params) 
 		ent.err = err
 		return
 	}
+	// Draw a per-run output scratch (kˆ/φ-curve arrays) if one is free; the
+	// pool is sized to the concurrency bound, so steady-state cold runs
+	// reuse instead of allocating. Only Votes outlives the run — it is the
+	// one freshly-allocated piece — so recycling is invisible to callers.
+	var rs *core.RunScratch
+	select {
+	case rs = <-e.outScratch:
+	default:
+		rs = new(core.RunScratch)
+	}
 	out, err := core.Run(snap, core.Config{
 		Method:      method,
 		NumSamples:  n.NumSamples,
@@ -323,7 +356,12 @@ func (e *Engine) run(key cacheKey, ent *entry, snap *bipartite.Graph, p Params) 
 		Seed:        n.Seed,
 		Parallelism: p.Parallelism,
 		Arenas:      e.arenas,
+		Scratch:     rs,
 	})
+	select {
+	case e.outScratch <- rs:
+	default:
+	}
 	if err != nil {
 		ent.err = err
 		return
@@ -426,14 +464,25 @@ func (e *Engine) Rank(ctx context.Context, p Params, minVotes, top int) (Ranking
 
 // Stats is a point-in-time engine and graph summary; the cache counters are
 // what lets operators (and the end-to-end tests) verify that threshold
-// sweeps do not trigger recomputation.
+// sweeps do not trigger recomputation. Shards and Build are present when the
+// underlying Snapshotter exposes them (the sharded stream graph does).
 type Stats struct {
-	Graph        stream.Stats `json:"graph"`
-	CacheEntries int          `json:"cache_entries"`
-	CacheHits    uint64       `json:"cache_hits"`
-	CacheMisses  uint64       `json:"cache_misses"`
-	EnsembleRuns uint64       `json:"ensemble_runs"`
-	InFlight     int          `json:"in_flight"`
+	Graph        stream.Stats       `json:"graph"`
+	Shards       []stream.ShardSize `json:"shards,omitempty"`
+	Build        *stream.BuildStats `json:"build,omitempty"`
+	CacheEntries int                `json:"cache_entries"`
+	CacheHits    uint64             `json:"cache_hits"`
+	CacheMisses  uint64             `json:"cache_misses"`
+	EnsembleRuns uint64             `json:"ensemble_runs"`
+	InFlight     int                `json:"in_flight"`
+	IngestStats  IngestStats        `json:"ingest"`
+}
+
+// IngestStats counts what passed through Ingest (the daemon's chokepoint).
+type IngestStats struct {
+	Batches    uint64 `json:"batches"`
+	Added      uint64 `json:"added"`
+	Duplicates uint64 `json:"duplicates"`
 }
 
 // Stats returns current counters.
@@ -441,20 +490,33 @@ func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	entries := len(e.cache)
 	e.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Graph:        e.src.Stats(),
 		CacheEntries: entries,
 		CacheHits:    e.hits.Load(),
 		CacheMisses:  e.misses.Load(),
 		EnsembleRuns: e.runs.Load(),
 		InFlight:     len(e.sem),
+		IngestStats: IngestStats{
+			Batches:    e.ingestBatches.Load(),
+			Added:      e.ingestEdges.Load(),
+			Duplicates: e.ingestDups.Load(),
+		},
 	}
+	if ss, ok := e.src.(interface{ ShardSizes() []stream.ShardSize }); ok {
+		st.Shards = ss.ShardSizes()
+	}
+	if bs, ok := e.src.(interface{ BuildStats() stream.BuildStats }); ok {
+		b := bs.BuildStats()
+		st.Build = &b
+	}
+	return st
 }
 
 // Source exposes the underlying dynamic graph. Ingest should go through
 // Ingest, which enforces the node-id bound; Source is for reads and for
 // callers that have validated ids themselves.
-func (e *Engine) Source() *stream.Graph { return e.src }
+func (e *Engine) Source() Snapshotter { return e.src }
 
 // Ingest appends a batch of edges after enforcing the configured node-id
 // bound. It is the single ingest chokepoint: ids are dense indices, so
@@ -468,5 +530,9 @@ func (e *Engine) Ingest(edges []bipartite.Edge) (stream.AppendResult, error) {
 				ErrInvalidParams, i, maxID)
 		}
 	}
-	return e.src.Append(edges), nil
+	res := e.src.Append(edges)
+	e.ingestBatches.Add(1)
+	e.ingestEdges.Add(uint64(res.Added))
+	e.ingestDups.Add(uint64(res.Duplicates))
+	return res, nil
 }

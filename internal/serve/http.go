@@ -19,6 +19,7 @@ import (
 //	POST /v1/detect  {"t":40,"n":80,"s":0.1,...}      MVA detection
 //	GET  /v1/votes   ?n=&s=&sampler=&seed=&min=&top=  ranked vote counts
 //	GET  /v1/stats                                    graph + cache counters
+//	GET  /metrics                                     Prometheus text format
 //	GET  /healthz                                     liveness
 //
 // Request bodies are capped at maxBodyBytes to keep a malicious client from
@@ -35,6 +36,7 @@ func NewHandler(e *Engine) http.Handler {
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, e.Stats())
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) { handleMetrics(e, w, r) })
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})

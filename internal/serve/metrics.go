@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// handleMetrics renders the engine's counters in the Prometheus text
+// exposition format (version 0.0.4), the scrape-friendly sibling of the JSON
+// /v1/stats endpoint. Everything here is served from existing atomics — a
+// scrape never takes the cache lock for more than the entry count and never
+// touches a snapshot — so aggressive scrape intervals cannot perturb the
+// serving path.
+func handleMetrics(e *Engine, w http.ResponseWriter, _ *http.Request) {
+	st := e.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("ensemfdetd_ingest_batches_total", "Edge batches accepted by the ingest endpoint.", st.IngestStats.Batches)
+	counter("ensemfdetd_ingest_edges_total", "Edges added to the graph after deduplication.", st.IngestStats.Added)
+	counter("ensemfdetd_ingest_duplicates_total", "Ingested edges dropped as duplicates.", st.IngestStats.Duplicates)
+
+	counter("ensemfdetd_cache_hits_total", "Detection requests answered from the vote cache.", st.CacheHits)
+	counter("ensemfdetd_cache_misses_total", "Detection requests that had to start an ensemble run.", st.CacheMisses)
+	counter("ensemfdetd_ensemble_runs_total", "Completed ensemble runs (cold computations).", st.EnsembleRuns)
+	gauge("ensemfdetd_cache_entries", "Vote-cache entries currently resident.", int64(st.CacheEntries))
+	gauge("ensemfdetd_inflight_runs", "Ensemble runs executing right now.", int64(st.InFlight))
+
+	gauge("ensemfdetd_graph_version", "Current graph version (bumps once per batch that adds edges).", int64(st.Graph.Version))
+	gauge("ensemfdetd_graph_users", "User nodes in the dynamic graph.", int64(st.Graph.NumUsers))
+	gauge("ensemfdetd_graph_merchants", "Merchant nodes in the dynamic graph.", int64(st.Graph.NumMerchants))
+	gauge("ensemfdetd_graph_edges", "Deduplicated edges in the dynamic graph.", int64(st.Graph.NumEdges))
+
+	if st.Build != nil {
+		const builds = "ensemfdetd_snapshot_builds_total"
+		fmt.Fprintf(w, "# HELP %s Snapshot constructions by kind (delta = incremental merge, full = rebuild).\n# TYPE %s counter\n", builds, builds)
+		fmt.Fprintf(w, "%s{kind=\"delta\"} %d\n", builds, st.Build.DeltaBuilds)
+		fmt.Fprintf(w, "%s{kind=\"full\"} %d\n", builds, st.Build.FullBuilds)
+		const dur = "ensemfdetd_snapshot_build_seconds_total"
+		fmt.Fprintf(w, "# HELP %s Cumulative time spent building snapshots, by kind.\n# TYPE %s counter\n", dur, dur)
+		fmt.Fprintf(w, "%s{kind=\"delta\"} %s\n", dur, formatSeconds(st.Build.DeltaBuildDur.Seconds()))
+		fmt.Fprintf(w, "%s{kind=\"full\"} %s\n", dur, formatSeconds(st.Build.FullBuildDur.Seconds()))
+	}
+	if len(st.Shards) > 0 {
+		const name = "ensemfdetd_shard_edges"
+		fmt.Fprintf(w, "# HELP %s Edges held by each ingest shard.\n# TYPE %s gauge\n", name, name)
+		for _, s := range st.Shards {
+			fmt.Fprintf(w, "%s{shard=\"%d\"} %d\n", name, s.Shard, s.NumEdges)
+		}
+	}
+}
+
+// formatSeconds renders a float in the shortest round-trippable form, the
+// way Prometheus client libraries do.
+func formatSeconds(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ensemfdet/internal/bipartite"
+	"ensemfdet/internal/stream"
+)
+
+// metricValue extracts the value of a (possibly labelled) series from a
+// Prometheus text exposition body.
+func metricValue(t *testing.T, body, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("series %s: bad value %q", series, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %s missing from metrics body:\n%s", series, body)
+	return 0
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	e := NewEngine(stream.NewSharded(4), Options{})
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	// 9 entries, 1 duplicate → 8 added. The base must be ≥ 4 edges so the
+	// later single-edge delta stays under the 25% rebuild threshold.
+	if _, err := e.Ingest([]bipartite.Edge{
+		{U: 0, V: 0}, {U: 1, V: 0}, {U: 1, V: 1}, {U: 0, V: 1},
+		{U: 2, V: 0}, {U: 2, V: 1}, {U: 3, V: 0}, {U: 3, V: 1},
+		{U: 0, V: 0},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := Params{NumSamples: 4, SampleRatio: 0.5, Seed: 3}
+	if _, err := e.Detect(context.Background(), p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Detect(context.Background(), p, 2); err != nil { // cache hit
+		t.Fatal(err)
+	}
+	// A second version forces a delta build so both build kinds appear.
+	e.Ingest([]bipartite.Edge{{U: 9, V: 9}})
+	if _, err := e.Detect(context.Background(), p, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q, want text/plain", ct)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	body := string(raw)
+
+	checks := map[string]float64{
+		"ensemfdetd_ingest_batches_total":                  2,
+		"ensemfdetd_ingest_edges_total":                    9,
+		"ensemfdetd_ingest_duplicates_total":               1,
+		"ensemfdetd_cache_misses_total":                    2,
+		"ensemfdetd_cache_hits_total":                      1,
+		"ensemfdetd_ensemble_runs_total":                   2,
+		"ensemfdetd_graph_version":                         2,
+		"ensemfdetd_graph_edges":                           9,
+		"ensemfdetd_snapshot_builds_total{kind=\"full\"}":  1,
+		"ensemfdetd_snapshot_builds_total{kind=\"delta\"}": 1,
+	}
+	for series, want := range checks {
+		if got := metricValue(t, body, series); got != want {
+			t.Errorf("%s = %g, want %g", series, got, want)
+		}
+	}
+
+	// Per-shard gauges must cover every shard and sum to the edge count.
+	shardRe := regexp.MustCompile(`(?m)^ensemfdetd_shard_edges\{shard="\d+"\} (\d+)$`)
+	matches := shardRe.FindAllStringSubmatch(body, -1)
+	if len(matches) != 4 {
+		t.Fatalf("found %d shard series, want 4", len(matches))
+	}
+	sum := 0
+	for _, m := range matches {
+		n, _ := strconv.Atoi(m[1])
+		sum += n
+	}
+	if sum != 9 {
+		t.Errorf("shard edges sum to %d, want 9", sum)
+	}
+
+	// Every exposed series needs HELP/TYPE metadata.
+	for _, name := range []string{"ensemfdetd_snapshot_build_seconds_total", "ensemfdetd_shard_edges"} {
+		if !strings.Contains(body, "# TYPE "+name+" ") {
+			t.Errorf("missing TYPE line for %s", name)
+		}
+	}
+}

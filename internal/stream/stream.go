@@ -5,44 +5,152 @@
 //
 // The paper's ensemble (and every algorithm in this repository) works on an
 // immutable dual-CSR Graph. A production ingest path cannot rebuild that CSR
-// per purchase, so Graph keeps the live state as a deduplicated edge log
-// guarded by a mutex and materializes CSR snapshots lazily, caching one
-// snapshot per version. Appends bump a monotonic version counter only when
-// they change the edge set, which is what lets the serve layer key its vote
-// cache on (version, config) and answer repeat queries without re-running
-// detection.
+// per purchase, so Graph keeps the live state as a deduplicated edge log and
+// materializes CSR snapshots lazily, caching one snapshot per version.
 //
-// Snapshot construction copies the edge log under a read lock and builds the
-// CSR outside any lock, so detection never blocks ingest for longer than a
-// memcpy of the edge slice.
+// # Sharded ingest
+//
+// The log is split into P shards partitioning the user-id space (an edge
+// lives in the shard of its user, selected by the id's low bits so dense,
+// growing id ranges stay balanced). Each shard has its own lock, dedup set,
+// and append-ordered edge log, so concurrent producers writing different
+// shards never contend. A single monotonic version survives the split: every
+// batch that adds at least one edge bumps one atomic counter, and appends
+// run under the read half of a commit lock whose write half lets the
+// snapshot path capture a (version, per-shard watermark) cut that is exactly
+// consistent — an edge is visible to a capture iff its batch's version bump
+// is.
+//
+// # Incremental snapshots
+//
+// Snapshots record per-shard sequence watermarks (log lengths). The next
+// build hands only the edges past those watermarks — the delta — to
+// bipartite.ExtendBuilder, which merges them into the previous CSR instead
+// of re-sorting the whole log; a full rebuild runs only when the delta is a
+// large fraction of the graph (or there is no previous snapshot). Shard logs
+// are append-only, so the capture is zero-copy: builders read the immutable
+// prefix of each log while producers keep appending behind the watermarks.
+// The built snapshot is published through an atomic pointer under the
+// single-flight build lock, so a slow store can never stall ingest.
 package stream
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"ensemfdet/internal/bipartite"
+	"ensemfdet/internal/scratch"
 )
 
+// DefaultShards returns the shard count New picks: GOMAXPROCS rounded up to
+// a power of two, clamped to [1, MaxShards].
+func DefaultShards() int {
+	p := 1
+	for p < runtime.GOMAXPROCS(0) && p < MaxShards {
+		p <<= 1
+	}
+	return p
+}
+
+// MaxShards bounds the shard count. Shards beyond the core count only add
+// scan overhead to batched appends, and captures walk every shard.
+const MaxShards = 64
+
+// deltaRebuildDenominator sets the incremental-build threshold: a snapshot
+// uses the delta path while |Δ| · denominator ≤ |E_prev|, i.e. deltas up to
+// 25% of the previous snapshot. Past that, merging approaches the cost of
+// the full counting-sort rebuild and loses to its better locality.
+const deltaRebuildDenominator = 4
+
+// fullBuildKeepCap is the largest concat-scratch capacity (in edges) kept
+// after a full rebuild; larger buffers are released so one big build does
+// not pin O(|E|) scratch on a graph that thereafter only does delta builds.
+const fullBuildKeepCap = 1 << 16
+
 // Graph is a mutable, concurrency-safe dynamic bipartite graph. The zero
-// value is not usable; construct with New. All methods are safe for
-// concurrent use.
+// value is not usable; construct with New or NewSharded. All methods are
+// safe for concurrent use.
 type Graph struct {
-	mu           sync.RWMutex
-	numUsers     int
-	numMerchants int
-	edges        []bipartite.Edge    // deduplicated, append order
-	seen         map[uint64]struct{} // edge key set for O(1) dedup
-	version      uint64              // bumps only when the edge set changes
+	shards []shard
+	mask   uint32 // len(shards) - 1; shard of user u is u & mask
 
-	buildMu     sync.Mutex       // single-flights cold snapshot builds
-	snap        *bipartite.Graph // cached CSR snapshot of snapVersion
-	snapVersion uint64
+	// commitMu makes (version, shard logs) capturable as one consistent cut:
+	// appends hold the read half for the whole batch (shard writes + version
+	// bump), captures take the write half briefly. Appends therefore only
+	// serialize against captures and same-shard writers, never each other.
+	commitMu sync.RWMutex
+	version  atomic.Uint64
+
+	// Size counters, updated once per touched shard per batch; reads are
+	// lock-free and exact whenever no append is in flight.
+	numEdges     atomic.Int64
+	numUsers     atomic.Int64
+	numMerchants atomic.Int64
+
+	// groupScratch pools per-append batch-grouping state (multi-shard only).
+	groupScratch sync.Pool
+
+	buildMu sync.Mutex               // single-flights cold snapshot builds
+	snap    atomic.Pointer[snapshot] // published under buildMu, read lock-free
+	ext     *bipartite.ExtendBuilder // build arena, guarded by buildMu
+	logRefs [][]bipartite.Edge       // capture scratch, guarded by buildMu
+	edgeBuf []bipartite.Edge         // delta/full concat scratch, guarded by buildMu
+
+	deltaBuilds  atomic.Uint64
+	fullBuilds   atomic.Uint64
+	deltaBuildNs atomic.Int64
+	fullBuildNs  atomic.Int64
 }
 
-// New returns an empty dynamic graph at version 0.
-func New() *Graph {
-	return &Graph{seen: make(map[uint64]struct{})}
+// shard is one user-range partition of the edge log. The padding keeps hot
+// shard headers on distinct cache lines so uncontended shards stay
+// uncontended at the hardware level too.
+type shard struct {
+	mu    sync.Mutex
+	seen  map[uint64]struct{} // edge key set for O(1) dedup
+	edges []bipartite.Edge    // deduplicated, append order, append-only
+	_     [64]byte
 }
+
+// snapshot pins a built CSR to the version and per-shard log watermarks it
+// reflects; the watermarks are what the next build's delta starts from.
+type snapshot struct {
+	g       *bipartite.Graph
+	version uint64
+	marks   []int
+}
+
+// New returns an empty dynamic graph at version 0 with DefaultShards shards.
+func New() *Graph { return NewSharded(0) }
+
+// NewSharded returns an empty dynamic graph with the given shard count,
+// rounded up to a power of two and clamped to [1, MaxShards]; 0 selects
+// DefaultShards. Shard count affects only write concurrency: snapshots, and
+// therefore detection results, are byte-identical across shard counts.
+func NewSharded(shards int) *Graph {
+	if shards <= 0 {
+		shards = DefaultShards()
+	}
+	p := 1
+	for p < shards && p < MaxShards {
+		p <<= 1
+	}
+	g := &Graph{
+		shards: make([]shard, p),
+		mask:   uint32(p - 1),
+		ext:    bipartite.NewExtendBuilder(),
+	}
+	g.groupScratch.New = func() any { return new(groupScratch) }
+	for i := range g.shards {
+		g.shards[i].seen = make(map[uint64]struct{})
+	}
+	return g
+}
+
+// NumShards returns the shard count chosen at construction.
+func (g *Graph) NumShards() int { return len(g.shards) }
 
 func edgeKey(e bipartite.Edge) uint64 { return uint64(e.U)<<32 | uint64(e.V) }
 
@@ -56,47 +164,128 @@ type AppendResult struct {
 	// Version is the graph version after the append. It exceeds the
 	// pre-append version iff Added > 0.
 	Version uint64
-	// Stats is the graph size immediately after this append, captured
-	// under the same lock so it is consistent with Version even when other
-	// writers race.
+	// Stats is the graph size immediately after this append. It is exact
+	// when no other writer races this batch; concurrent batches may be
+	// partially included.
 	Stats Stats
 }
 
 // Append records a batch of purchase edges, deduplicating against everything
 // already ingested. The version counter advances once per batch that adds at
 // least one new edge, so an idempotent retry of the same batch leaves the
-// version — and therefore every cached detection — intact.
+// version — and therefore every cached detection — intact. The batch is
+// committed shard by shard: a concurrent snapshot may observe a prefix of a
+// large multi-shard batch, but never a torn shard.
 func (g *Graph) Append(edges []bipartite.Edge) AppendResult {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.commitMu.RLock()
+	defer g.commitMu.RUnlock()
+
 	var res AppendResult
-	for _, e := range edges {
-		k := edgeKey(e)
-		if _, dup := g.seen[k]; dup {
-			res.Duplicates++
-			continue
+	var maxU, maxV int64 = -1, -1
+	if len(g.shards) == 1 {
+		res.Added = g.shards[0].appendRun(edges, &res.Duplicates, &maxU, &maxV)
+		if res.Added > 0 {
+			g.numEdges.Add(int64(res.Added))
 		}
-		g.seen[k] = struct{}{}
-		g.edges = append(g.edges, e)
-		if int(e.U) >= g.numUsers {
-			g.numUsers = int(e.U) + 1
+	} else {
+		// Counting-sort the batch into shard-contiguous runs first, so each
+		// shard lock is taken once over its run instead of scanning the
+		// whole batch per shard. The grouping scratch is pooled: steady-state
+		// appends allocate nothing.
+		gs := g.groupScratch.Get().(*groupScratch)
+		grouped := gs.group(edges, g.mask)
+		for si := range g.shards {
+			run := grouped[gs.off[si]:gs.off[si+1]]
+			if len(run) == 0 {
+				continue
+			}
+			added := g.shards[si].appendRun(run, &res.Duplicates, &maxU, &maxV)
+			if added > 0 {
+				g.numEdges.Add(int64(added))
+				res.Added += added
+			}
 		}
-		if int(e.V) >= g.numMerchants {
-			g.numMerchants = int(e.V) + 1
-		}
-		res.Added++
+		g.groupScratch.Put(gs)
 	}
 	if res.Added > 0 {
-		g.version++
+		atomicMax(&g.numUsers, maxU+1)
+		atomicMax(&g.numMerchants, maxV+1)
+		res.Version = g.version.Add(1)
+	} else {
+		res.Version = g.version.Load()
 	}
-	res.Version = g.version
 	res.Stats = Stats{
-		Version:      g.version,
-		NumUsers:     g.numUsers,
-		NumMerchants: g.numMerchants,
-		NumEdges:     len(g.edges),
+		Version:      res.Version,
+		NumUsers:     int(g.numUsers.Load()),
+		NumMerchants: int(g.numMerchants.Load()),
+		NumEdges:     int(g.numEdges.Load()),
 	}
 	return res
+}
+
+// appendRun folds a slice of edges, all belonging to this shard (or the only
+// shard), into the shard under its lock.
+func (s *shard) appendRun(run []bipartite.Edge, dups *int, maxU, maxV *int64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	added := 0
+	for _, e := range run {
+		k := edgeKey(e)
+		if _, dup := s.seen[k]; dup {
+			*dups++
+			continue
+		}
+		s.seen[k] = struct{}{}
+		s.edges = append(s.edges, e)
+		added++
+		if int64(e.U) > *maxU {
+			*maxU = int64(e.U)
+		}
+		if int64(e.V) > *maxV {
+			*maxV = int64(e.V)
+		}
+	}
+	return added
+}
+
+// groupScratch is reusable per-append grouping state: a shard-major
+// permutation of the batch plus the run offsets.
+type groupScratch struct {
+	buf []bipartite.Edge
+	off []int // len shards+1 after group; off[s]:off[s+1] is shard s's run
+	cur []int
+}
+
+// group scatters edges into shard-contiguous runs in gs.buf and returns the
+// permuted batch; gs.off holds the run boundaries.
+func (gs *groupScratch) group(edges []bipartite.Edge, mask uint32) []bipartite.Edge {
+	shards := int(mask) + 1
+	buf := scratch.Grow(&gs.buf, len(edges))
+	off := scratch.GrowZero(&gs.off, shards+1)
+	cur := scratch.Grow(&gs.cur, shards)
+	for _, e := range edges {
+		off[(e.U&mask)+1]++
+	}
+	for s := 0; s < shards; s++ {
+		off[s+1] += off[s]
+		cur[s] = off[s]
+	}
+	for _, e := range edges {
+		s := e.U & mask
+		buf[cur[s]] = e
+		cur[s]++
+	}
+	return buf
+}
+
+// atomicMax raises *a to v if v is larger.
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // AppendEdge records a single purchase (u, v).
@@ -105,11 +294,7 @@ func (g *Graph) AppendEdge(u, v uint32) AppendResult {
 }
 
 // Version returns the current graph version. Version 0 is the empty graph.
-func (g *Graph) Version() uint64 {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return g.version
-}
+func (g *Graph) Version() uint64 { return g.version.Load() }
 
 // Stats is a point-in-time size summary of the dynamic graph.
 type Stats struct {
@@ -119,15 +304,51 @@ type Stats struct {
 	NumEdges     int    `json:"num_edges"`
 }
 
-// Stats returns the current version and side/edge counts atomically.
+// Stats returns the current version and side/edge counts. The reads are
+// lock-free; values are exact whenever no append is in flight.
 func (g *Graph) Stats() Stats {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
 	return Stats{
-		Version:      g.version,
-		NumUsers:     g.numUsers,
-		NumMerchants: g.numMerchants,
-		NumEdges:     len(g.edges),
+		Version:      g.version.Load(),
+		NumUsers:     int(g.numUsers.Load()),
+		NumMerchants: int(g.numMerchants.Load()),
+		NumEdges:     int(g.numEdges.Load()),
+	}
+}
+
+// ShardSize reports one shard's log size.
+type ShardSize struct {
+	Shard    int `json:"shard"`
+	NumEdges int `json:"num_edges"`
+}
+
+// ShardSizes returns the per-shard edge counts, for observability.
+func (g *Graph) ShardSizes() []ShardSize {
+	out := make([]ShardSize, len(g.shards))
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.Lock()
+		out[i] = ShardSize{Shard: i, NumEdges: len(s.edges)}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// BuildStats counts snapshot constructions by kind, with cumulative build
+// time; the delta/full ratio is the health signal of the incremental path.
+type BuildStats struct {
+	DeltaBuilds   uint64        `json:"delta_builds"`
+	FullBuilds    uint64        `json:"full_builds"`
+	DeltaBuildDur time.Duration `json:"delta_build_ns"`
+	FullBuildDur  time.Duration `json:"full_build_ns"`
+}
+
+// BuildStats returns cumulative snapshot-build counters.
+func (g *Graph) BuildStats() BuildStats {
+	return BuildStats{
+		DeltaBuilds:   g.deltaBuilds.Load(),
+		FullBuilds:    g.fullBuilds.Load(),
+		DeltaBuildDur: time.Duration(g.deltaBuildNs.Load()),
+		FullBuildDur:  time.Duration(g.fullBuildNs.Load()),
 	}
 }
 
@@ -135,44 +356,83 @@ func (g *Graph) Stats() Stats {
 // reflects. The result is cached: repeated calls at an unchanged version
 // return the same *bipartite.Graph, so snapshotting is O(1) between appends.
 // Cold builds are single-flighted — a burst of snapshotters after an ingest
-// performs one edge-log copy and one CSR build, not one per caller. The
-// returned graph is never mutated by later appends.
+// performs one capture and one build, not one per caller — and incremental:
+// when a previous snapshot exists and the delta since its watermarks is
+// small, the new CSR is merged from (previous snapshot, delta) instead of
+// rebuilt from all |E| edges. The returned graph is never mutated by later
+// appends, and is byte-identical for a given edge set regardless of shard
+// count, append order, or which build path produced it.
 func (g *Graph) Snapshot() (*bipartite.Graph, uint64) {
-	if snap, v, ok := g.cachedSnapshot(); ok {
-		return snap, v
+	if s := g.snap.Load(); s != nil && s.version == g.version.Load() {
+		return s.g, s.version
 	}
 	// Serialize builders; losers of the race re-check the cache the winner
 	// just filled. Append never takes buildMu, so ingest is unaffected.
 	g.buildMu.Lock()
 	defer g.buildMu.Unlock()
-	if snap, v, ok := g.cachedSnapshot(); ok {
-		return snap, v
+	if s := g.snap.Load(); s != nil && s.version == g.version.Load() {
+		return s.g, s.version
+	}
+	prev := g.snap.Load()
+
+	// Capture a consistent cut under the commit lock: version, side sizes,
+	// and a stable view of every shard log. Logs are append-only, so the
+	// captured prefixes stay immutable after release and the hold time is
+	// O(shards), not O(edges) — ingest stalls for the capture, never for
+	// the build.
+	g.commitMu.Lock()
+	v := g.version.Load()
+	nu := int(g.numUsers.Load())
+	nm := int(g.numMerchants.Load())
+	marks := make([]int, len(g.shards))
+	logs := scratch.Grow(&g.logRefs, len(g.shards))
+	total := 0
+	for i := range g.shards {
+		logs[i] = g.shards[i].edges
+		marks[i] = len(logs[i])
+		total += marks[i]
+	}
+	g.commitMu.Unlock()
+
+	deltaN := total
+	if prev != nil {
+		deltaN = 0
+		for i, m := range marks {
+			deltaN += m - prev.marks[i]
+		}
 	}
 
-	// Copy the log under the read lock; build the CSR outside it so a large
-	// build never stalls ingest.
-	g.mu.RLock()
-	v := g.version
-	nu, nm := g.numUsers, g.numMerchants
-	edges := make([]bipartite.Edge, len(g.edges))
-	copy(edges, g.edges)
-	g.mu.RUnlock()
+	start := time.Now()
+	var built *bipartite.Graph
+	if prev != nil && deltaN*deltaRebuildDenominator <= prev.g.NumEdges() {
+		delta := scratch.Grow(&g.edgeBuf, deltaN)[:0]
+		for i, log := range logs {
+			delta = append(delta, log[prev.marks[i]:marks[i]]...)
+		}
+		g.edgeBuf = delta
+		built = g.ext.Extend(prev.g, delta, nu, nm)
+		g.deltaBuilds.Add(1)
+		g.deltaBuildNs.Add(int64(time.Since(start)))
+	} else {
+		all := scratch.Grow(&g.edgeBuf, total)[:0]
+		for i, log := range logs {
+			all = append(all, log[:marks[i]]...)
+		}
+		g.edgeBuf = all
+		built = g.ext.Rebuild(nu, nm, all)
+		g.fullBuilds.Add(1)
+		g.fullBuildNs.Add(int64(time.Since(start)))
+		// A full rebuild grew the concat scratch to O(|E|); steady-state
+		// traffic then takes only the delta path, which needs a fraction of
+		// that. Release oversized buffers rather than pinning |E| edges of
+		// scratch for the graph's lifetime — the next full build (rare by
+		// design) just re-allocates.
+		if cap(g.edgeBuf) > fullBuildKeepCap {
+			g.edgeBuf = nil
+		}
+	}
+	clear(logs) // do not pin shard log arrays beyond the build
 
-	snap := bipartite.NewBuilderSized(nu, nm, len(edges))
-	snap.AddEdges(edges)
-	built := snap.Build()
-
-	g.mu.Lock()
-	g.snap, g.snapVersion = built, v
-	g.mu.Unlock()
+	g.snap.Store(&snapshot{g: built, version: v, marks: marks})
 	return built, v
-}
-
-func (g *Graph) cachedSnapshot() (*bipartite.Graph, uint64, bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	if g.snap != nil && g.snapVersion == g.version {
-		return g.snap, g.snapVersion, true
-	}
-	return nil, 0, false
 }

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"math/rand"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -78,47 +79,198 @@ func TestSnapshotEmpty(t *testing.T) {
 	}
 }
 
-// TestConcurrentIngestAndSnapshot hammers Append and Snapshot from many
-// goroutines; run with -race. Every snapshot must be internally consistent
-// regardless of interleaving.
-func TestConcurrentIngestAndSnapshot(t *testing.T) {
-	g := New()
-	var wg sync.WaitGroup
-	for w := 0; w < 4; w++ {
-		wg.Add(1)
-		go func(seed int64) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed))
-			for i := 0; i < 200; i++ {
-				batch := make([]bipartite.Edge, 8)
-				for j := range batch {
-					batch[j] = bipartite.Edge{U: uint32(rng.Intn(500)), V: uint32(rng.Intn(500))}
-				}
-				g.Append(batch)
-			}
-		}(int64(w + 1))
+func TestShardCountRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {16, 16}, {1000, MaxShards},
+	} {
+		if got := NewSharded(tc.in).NumShards(); got != tc.want {
+			t.Errorf("NewSharded(%d).NumShards() = %d, want %d", tc.in, got, tc.want)
+		}
 	}
-	for w := 0; w < 4; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := 0; i < 100; i++ {
-				s, _ := g.Snapshot()
-				if err := s.Validate(); err != nil {
-					t.Errorf("inconsistent snapshot: %v", err)
-					return
-				}
-			}
-		}()
+	if got := New().NumShards(); got != DefaultShards() {
+		t.Errorf("New().NumShards() = %d, want DefaultShards() = %d", got, DefaultShards())
 	}
-	wg.Wait()
+}
 
-	st := g.Stats()
-	s, v := g.Snapshot()
-	if v != st.Version && g.Version() == st.Version {
-		t.Errorf("final snapshot version %d, stats version %d", v, st.Version)
+// randomEdges draws n edges with duplicates over a node space shaped like
+// live traffic (skewless uniform is fine for structural determinism checks).
+func randomEdges(seed int64, n, users, merchants int) []bipartite.Edge {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]bipartite.Edge, n)
+	for i := range out {
+		out[i] = bipartite.Edge{U: uint32(rng.Intn(users)), V: uint32(rng.Intn(merchants))}
 	}
-	if s.NumEdges() != st.NumEdges {
-		t.Errorf("final snapshot has %d edges, stats say %d", s.NumEdges(), st.NumEdges)
+	return out
+}
+
+// graphsEqual compares two immutable graphs by shape and full edge list; the
+// CSR layout is a canonical function of (sizes, edge set) — pinned by the
+// bipartite package's own extend tests — so this equality is byte-identity.
+func graphsEqual(a, b *bipartite.Graph) bool {
+	return a.NumUsers() == b.NumUsers() &&
+		a.NumMerchants() == b.NumMerchants() &&
+		reflect.DeepEqual(a.EdgeList(), b.EdgeList())
+}
+
+// TestSnapshotDeterministicAcrossShardCounts is the tentpole's core pin: the
+// same edge stream, ingested into graphs with shard counts {1, 4, 16}, in one
+// giant batch (full-build path) or in many small batches with interleaved
+// snapshots (delta-build path), must yield identical snapshots.
+func TestSnapshotDeterministicAcrossShardCounts(t *testing.T) {
+	edges := randomEdges(11, 4000, 300, 250)
+	ref, err := bipartite.FromEdges(300, 250, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 4, 16} {
+		// One batch: full rebuild.
+		full := NewSharded(shards)
+		full.Append(edges)
+		fs, _ := full.Snapshot()
+		if err := fs.Validate(); err != nil {
+			t.Fatalf("shards=%d full: invalid: %v", shards, err)
+		}
+		if !graphsEqual(fs, ref) {
+			t.Fatalf("shards=%d: full-build snapshot diverges from reference", shards)
+		}
+
+		// Many small batches with a snapshot after each: exercises the
+		// incremental chain. Snapshot equality at the end proves the delta
+		// merges composed to the same graph.
+		inc := NewSharded(shards)
+		for off := 0; off < len(edges); off += 97 {
+			end := min(off+97, len(edges))
+			inc.Append(edges[off:end])
+			if s, _ := inc.Snapshot(); s.NumEdges() > ref.NumEdges() {
+				t.Fatalf("shards=%d: intermediate snapshot has %d edges, reference max %d",
+					shards, s.NumEdges(), ref.NumEdges())
+			}
+		}
+		is, _ := inc.Snapshot()
+		if err := is.Validate(); err != nil {
+			t.Fatalf("shards=%d incremental: invalid: %v", shards, err)
+		}
+		if !graphsEqual(is, ref) {
+			t.Fatalf("shards=%d: incremental snapshot diverges from reference", shards)
+		}
+		if bs := inc.BuildStats(); bs.DeltaBuilds == 0 {
+			t.Fatalf("shards=%d: incremental ingest never took the delta path: %+v", shards, bs)
+		}
+	}
+}
+
+// TestDeltaVersusFullBuildSelection checks the rebuild threshold: small
+// post-snapshot batches extend incrementally, a huge one falls back to a
+// full rebuild.
+func TestDeltaVersusFullBuildSelection(t *testing.T) {
+	g := NewSharded(4)
+	g.Append(randomEdges(5, 8000, 500, 500))
+	g.Snapshot()
+	before := g.BuildStats()
+	if before.FullBuilds != 1 || before.DeltaBuilds != 0 {
+		t.Fatalf("first snapshot: %+v, want exactly one full build", before)
+	}
+
+	// A tiny delta must extend.
+	g.AppendEdge(600, 600)
+	g.Snapshot()
+	if bs := g.BuildStats(); bs.DeltaBuilds != 1 {
+		t.Fatalf("small delta: %+v, want one delta build", bs)
+	}
+
+	// A delta larger than 1/4 of the snapshot must trigger a full rebuild.
+	big := make([]bipartite.Edge, 0, 4000)
+	for i := 0; i < 4000; i++ {
+		big = append(big, bipartite.Edge{U: uint32(1000 + i), V: uint32(1000 + i)})
+	}
+	g.Append(big)
+	s, _ := g.Snapshot()
+	if bs := g.BuildStats(); bs.FullBuilds != 2 {
+		t.Fatalf("large delta: %+v, want a second full build", bs)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentIngestAndSnapshot hammers Append, Snapshot, and Stats from
+// many goroutines across shard counts; run with -race. Every snapshot must
+// be internally consistent, never shrink, and observed versions must be
+// monotone; snapshots taken early must be untouched by later appends.
+func TestConcurrentIngestAndSnapshot(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		t.Run("", func(t *testing.T) {
+			g := NewSharded(shards)
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < 200; i++ {
+						batch := make([]bipartite.Edge, 8)
+						for j := range batch {
+							batch[j] = bipartite.Edge{U: uint32(rng.Intn(500)), V: uint32(rng.Intn(500))}
+						}
+						res := g.Append(batch)
+						if res.Added > 0 && res.Version == 0 {
+							t.Error("append that added edges left version 0")
+							return
+						}
+					}
+				}(int64(w + 1))
+			}
+			// Snapshotters: validate, check monotone versions and that an
+			// earlier snapshot's contents survive later appends verbatim.
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					var lastV uint64
+					var pinned *bipartite.Graph
+					var pinnedEdges int
+					for i := 0; i < 100; i++ {
+						s, v := g.Snapshot()
+						if v < lastV {
+							t.Errorf("snapshot version went backwards: %d after %d", v, lastV)
+							return
+						}
+						lastV = v
+						if err := s.Validate(); err != nil {
+							t.Errorf("inconsistent snapshot: %v", err)
+							return
+						}
+						if pinned == nil {
+							pinned, pinnedEdges = s, s.NumEdges()
+						}
+					}
+					if pinned.NumEdges() != pinnedEdges {
+						t.Errorf("pinned snapshot grew from %d to %d edges", pinnedEdges, pinned.NumEdges())
+					}
+					if err := pinned.Validate(); err != nil {
+						t.Errorf("pinned snapshot corrupted: %v", err)
+					}
+				}()
+			}
+			wg.Wait()
+
+			st := g.Stats()
+			s, v := g.Snapshot()
+			if v != st.Version && g.Version() == st.Version {
+				t.Errorf("final snapshot version %d, stats version %d", v, st.Version)
+			}
+			if s.NumEdges() != st.NumEdges {
+				t.Errorf("final snapshot has %d edges, stats say %d", s.NumEdges(), st.NumEdges)
+			}
+			sizes := g.ShardSizes()
+			sum := 0
+			for _, sz := range sizes {
+				sum += sz.NumEdges
+			}
+			if len(sizes) != shards || sum != st.NumEdges {
+				t.Errorf("shard sizes %v do not sum to %d", sizes, st.NumEdges)
+			}
+		})
 	}
 }
