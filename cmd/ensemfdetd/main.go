@@ -5,6 +5,7 @@
 // Usage:
 //
 //	ensemfdetd [-addr :8080] [-load transactions.tsv] [-shards 0] [-max-concurrent 2] [-cache-size 32]
+//	           [-data-dir /var/lib/ensemfdetd] [-fsync always] [-snapshot-every 16777216]
 //
 // The API (JSON unless noted):
 //
@@ -12,7 +13,7 @@
 //	POST /v1/detect  {"t":40,"n":80,"s":0.1,            run/serve a detection
 //	                  "sampler":"RES","seed":1}
 //	GET  /v1/votes   ?n=&s=&sampler=&seed=&min=&top=    ranked vote counts
-//	GET  /v1/stats                                      graph + cache + shard + build counters
+//	GET  /v1/stats                                      graph + cache + shard + build + persist counters
 //	GET  /metrics                                       the same, Prometheus text format
 //	GET  /healthz                                       liveness
 //
@@ -27,8 +28,15 @@
 // /metrics expose per-shard sizes and the delta-vs-full build counts. Shard
 // count never affects detection results.
 //
+// With -data-dir set the daemon is durable: every accepted ingest batch is
+// framed into a checksummed write-ahead log (fsynced before the HTTP 200
+// under -fsync always), binary CSR snapshots are written in the background
+// once the log grows past -snapshot-every bytes, and a restart — graceful
+// or kill -9 — recovers the same graph and version, truncating a torn WAL
+// tail from a mid-write crash instead of refusing to start.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests for up to -drain seconds.
+// requests for up to -drain seconds, then flushing a final snapshot.
 package main
 
 import (
@@ -62,6 +70,9 @@ func run() error {
 		cacheCap = flag.Int("cache-size", 32, "maximum cached vote sets")
 		maxNode  = flag.Uint("max-node-id", 0, "largest accepted node id (0 = default 2^26)")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		dataDir  = flag.String("data-dir", "", "durability directory (WAL + snapshots); empty = memory-only")
+		fsync    = flag.String("fsync", "always", "WAL flush policy: always (ack after fsync) or never (OS page cache)")
+		snapEvry = flag.Int64("snapshot-every", 16<<20, "WAL growth in bytes that triggers a background snapshot")
 	)
 	flag.Parse()
 	if *maxNode > ensemfdet.MaxNodeID {
@@ -70,29 +81,50 @@ func run() error {
 	if *shards < 0 || *shards > ensemfdet.MaxStreamShards {
 		return fmt.Errorf("-shards %d out of range [0,%d]", *shards, ensemfdet.MaxStreamShards)
 	}
+	fsyncPolicy, err := ensemfdet.ParseFsyncPolicy(*fsync)
+	if err != nil {
+		return err
+	}
+	if *snapEvry <= 0 {
+		return fmt.Errorf("-snapshot-every must be positive, got %d", *snapEvry)
+	}
 
 	sg := ensemfdet.NewStreamGraphSharded(*shards)
 	log.Printf("ingest sharding: %d shards", sg.NumShards())
+
+	var store *ensemfdet.PersistStore
+	if *dataDir != "" {
+		// Recover before installing the journal, so replayed batches are
+		// not re-appended to the log they came from.
+		store, err = ensemfdet.OpenPersist(*dataDir, ensemfdet.PersistOptions{
+			Fsync:         fsyncPolicy,
+			SnapshotBytes: *snapEvry,
+		})
+		if err != nil {
+			return err
+		}
+		rec, err := store.Recover(sg)
+		if err != nil {
+			return fmt.Errorf("recovering %s: %w", *dataDir, err)
+		}
+		log.Printf("recovered %s: snapshot version %d (%d edges), replayed %d WAL records (%d edges) → graph version %d (fsync=%s)",
+			*dataDir, rec.SnapshotVersion, rec.SnapshotEdges, rec.ReplayedRecords, rec.ReplayedEdges, rec.Version, fsyncPolicy)
+		sg.SetJournal(store)
+		store.SetSource(sg)
+	}
+
 	engine := ensemfdet.NewDetectEngine(sg, ensemfdet.EngineOptions{
 		MaxConcurrent:   *maxConc,
 		MaxCacheEntries: *cacheCap,
 		MaxNodeID:       uint32(*maxNode),
 	})
+	if store != nil {
+		engine.AttachPersist(store)
+	}
 	if *load != "" {
-		// The startup ingest honours the same id bound as /v1/edges,
-		// enforced while parsing: a stray huge id would otherwise commit
-		// the reader itself to O(max_id) allocations. Raw edges go straight
-		// into the stream graph — it dedups and builds the CSR on first
-		// snapshot, so no throwaway graph is constructed here.
-		edges, err := ensemfdet.ReadEdgesFile(*load, engine.MaxNodeID())
-		if err != nil {
-			return fmt.Errorf("%w (see -max-node-id)", err)
+		if err := loadEdges(engine, *load); err != nil {
+			return err
 		}
-		res, err := engine.Ingest(edges)
-		if err != nil {
-			return fmt.Errorf("%w (see -max-node-id)", err)
-		}
-		log.Printf("loaded %s: %d edges (version %d)", *load, res.Added, res.Version)
 	}
 
 	srv := &http.Server{
@@ -131,7 +163,35 @@ func run() error {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
+	// The server has drained: flush a final snapshot and close the WAL so
+	// the next boot recovers without replay.
+	if err := engine.Close(); err != nil {
+		return fmt.Errorf("flushing persistence: %w", err)
+	}
 	return <-errc
+}
+
+// loadEdges performs the startup ingest. It honours the same id bound as
+// /v1/edges, enforced while parsing: a stray huge id would otherwise commit
+// the reader itself to O(max_id) allocations. Raw edges go straight into
+// the stream graph — it dedups and builds the CSR on first snapshot, so no
+// throwaway graph is constructed here. Only id-bound failures carry the
+// -max-node-id hint; a missing or malformed file is its own problem, and
+// suggesting a bigger id budget for it would send the operator the wrong way.
+func loadEdges(engine *ensemfdet.DetectEngine, path string) error {
+	edges, err := ensemfdet.ReadEdgesFile(path, engine.MaxNodeID())
+	if err == nil {
+		r, ierr := engine.Ingest(edges)
+		if ierr == nil {
+			log.Printf("loaded %s: %d edges added, %d duplicates (version %d)", path, r.Added, r.Duplicates, r.Version)
+			return nil
+		}
+		err = ierr
+	}
+	if errors.Is(err, ensemfdet.ErrNodeIDRange) {
+		return fmt.Errorf("%w (see -max-node-id)", err)
+	}
+	return err
 }
 
 // logRequests is a minimal access log; the daemon has no other middleware.

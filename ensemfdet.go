@@ -31,6 +31,7 @@ import (
 	"ensemfdet/internal/core"
 	"ensemfdet/internal/density"
 	"ensemfdet/internal/fdet"
+	"ensemfdet/internal/persist"
 	"ensemfdet/internal/sampling"
 	"ensemfdet/internal/serve"
 	"ensemfdet/internal/stream"
@@ -320,3 +321,48 @@ func NewDetectEngine(src *StreamGraph, opts EngineOptions) *DetectEngine {
 // NewHTTPHandler returns the ensemfdetd HTTP API (POST /v1/edges,
 // POST /v1/detect, GET /v1/votes, GET /v1/stats, GET /healthz) over e.
 func NewHTTPHandler(e *DetectEngine) http.Handler { return serve.NewHandler(e) }
+
+// --- durability layer ---
+
+// ErrNodeIDRange tags errors caused by a node id above a configured bound —
+// distinct from parse or I/O failures, so callers know raising the bound
+// (not fixing the file) is the remedy. ReadEdgesFile, ReadGraphFileMax, and
+// DetectEngine.Ingest all wrap it.
+var ErrNodeIDRange = bipartite.ErrIDRange
+
+// PersistStore is the daemon's durability engine: a segmented, checksummed
+// write-ahead log of ingested edge batches plus binary CSR snapshots, with
+// boot-time recovery. Wire it as a StreamGraph's journal (SetJournal) and
+// snapshot source (SetSource); see cmd/ensemfdetd for the full lifecycle.
+type PersistStore = persist.Store
+
+// PersistOptions configures the store; the zero value fsyncs every batch
+// and snapshots every 16MB of WAL growth.
+type PersistOptions = persist.Options
+
+// PersistStats reports WAL and snapshot counters.
+type PersistStats = persist.Stats
+
+// RecoveryStats summarizes one boot-time recovery.
+type RecoveryStats = persist.RecoveryStats
+
+// FsyncPolicy selects when the WAL is flushed to stable storage.
+type FsyncPolicy = persist.FsyncPolicy
+
+// The WAL flush policies: FsyncAlways acknowledges a batch only after it is
+// on disk; FsyncNever trades that guarantee for page-cache-speed ingest.
+const (
+	FsyncAlways = persist.FsyncAlways
+	FsyncNever  = persist.FsyncNever
+)
+
+// ParseFsyncPolicy maps "always"/"never" (the -fsync flag values) to a
+// policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return persist.ParseFsyncPolicy(s) }
+
+// OpenPersist opens (creating if needed) the durability state under dir,
+// truncating a torn WAL tail from a previous crash with a logged warning.
+// Call Recover on the result to load the state into a StreamGraph.
+func OpenPersist(dir string, opts PersistOptions) (*PersistStore, error) {
+	return persist.Open(dir, opts)
+}

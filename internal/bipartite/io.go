@@ -3,11 +3,17 @@ package bipartite
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 )
+
+// ErrIDRange tags failures caused by a node id above a configured bound —
+// distinct from parse errors or I/O failures, so callers can decide whether
+// raising the bound is the right remedy before suggesting it.
+var ErrIDRange = errors.New("node id out of range")
 
 // Edge-list text format: one edge per line, "user<TAB>merchant" (or any run
 // of spaces/tabs as separator). Lines starting with '#' and blank lines are
@@ -80,7 +86,7 @@ func ReadEdgesMax(r io.Reader, maxID uint32) ([]Edge, error) {
 			return nil, fmt.Errorf("bipartite: line %d: bad merchant id %q: %w", lineNo, fields[1], err)
 		}
 		if u > uint64(maxID) || v > uint64(maxID) {
-			return nil, fmt.Errorf("bipartite: line %d: node id exceeds maximum %d", lineNo, maxID)
+			return nil, fmt.Errorf("bipartite: line %d: %w: node id exceeds maximum %d", lineNo, ErrIDRange, maxID)
 		}
 		edges = append(edges, Edge{U: uint32(u), V: uint32(v)})
 	}

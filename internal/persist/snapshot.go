@@ -1,0 +1,143 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"ensemfdet/internal/bipartite"
+)
+
+// Snapshot file layout, little-endian:
+//
+//	[8]byte  magic "EFDSNAP1"
+//	uint32   format version
+//	uint64   graph version
+//	uint32   crc32c over the 20 header bytes above
+//	[]byte   bipartite CSR codec blob (self-checksummed)
+//
+// Files are written to a .tmp sibling, synced, renamed into place, and the
+// directory synced, so a crash mid-write leaves either the old set of
+// snapshots or the new one — never a half-visible file. After a successful
+// write, older snapshot files are deleted.
+
+var snapMagic = [8]byte{'E', 'F', 'D', 'S', 'N', 'A', 'P', '1'}
+
+const snapFormatVersion = uint32(1)
+
+func snapPath(dir string, version uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%016x.snap", version))
+}
+
+// writeSnapshotFile durably writes g at the given graph version and removes
+// older snapshots. It returns the final path.
+func writeSnapshotFile(dir string, g *bipartite.Graph, version uint64) (string, error) {
+	path := snapPath(dir, version)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return "", fmt.Errorf("persist: creating snapshot: %w", err)
+	}
+	defer os.Remove(tmp) // no-op after the rename succeeds
+
+	bw := bufio.NewWriterSize(f, 1<<20)
+	var hdr [20]byte
+	copy(hdr[:8], snapMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], snapFormatVersion)
+	binary.LittleEndian.PutUint64(hdr[12:], version)
+	if _, err := bw.Write(hdr[:]); err == nil {
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(hdr[:], castagnoli))
+		_, err = bw.Write(crc[:])
+		if err == nil {
+			err = bipartite.WriteCSR(bw, g)
+		}
+		if err == nil {
+			err = bw.Flush()
+		}
+		if err == nil {
+			err = f.Sync()
+		}
+	} else {
+		err = fmt.Errorf("persist: writing snapshot header: %w", err)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return "", fmt.Errorf("persist: writing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return "", fmt.Errorf("persist: publishing snapshot: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return "", fmt.Errorf("persist: syncing snapshot dir: %w", err)
+	}
+	// The new snapshot is durable; older ones are now redundant.
+	for _, old := range listSnapshots(dir) {
+		if old.version != version {
+			os.Remove(old.path)
+		}
+	}
+	return path, nil
+}
+
+// readSnapshotFile decodes and validates one snapshot file.
+func readSnapshotFile(path string) (*bipartite.Graph, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("persist: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("persist: reading snapshot header: %w", err)
+	}
+	if [8]byte(hdr[:8]) != snapMagic {
+		return nil, 0, fmt.Errorf("persist: snapshot %s: bad magic", filepath.Base(path))
+	}
+	if crc32.Checksum(hdr[:20], castagnoli) != binary.LittleEndian.Uint32(hdr[20:]) {
+		return nil, 0, fmt.Errorf("persist: snapshot %s: header checksum mismatch", filepath.Base(path))
+	}
+	if format := binary.LittleEndian.Uint32(hdr[8:]); format != snapFormatVersion {
+		return nil, 0, fmt.Errorf("persist: snapshot %s: unsupported format %d", filepath.Base(path), format)
+	}
+	version := binary.LittleEndian.Uint64(hdr[12:])
+	g, err := bipartite.ReadCSR(br)
+	if err != nil {
+		return nil, 0, fmt.Errorf("persist: snapshot %s: %w", filepath.Base(path), err)
+	}
+	return g, version, nil
+}
+
+// snapFile names one on-disk snapshot.
+type snapFile struct {
+	path    string
+	version uint64
+}
+
+// listSnapshots returns the snapshots in dir, newest version first. Files
+// that do not parse as snapshot names (including .tmp leftovers) are ignored.
+func listSnapshots(dir string) []snapFile {
+	names, err := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if err != nil {
+		return nil
+	}
+	out := make([]snapFile, 0, len(names))
+	for _, name := range names {
+		v, err := parseIndexedName(filepath.Base(name), "snap-", ".snap")
+		if err != nil {
+			continue
+		}
+		out = append(out, snapFile{path: name, version: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].version > out[j].version })
+	return out
+}

@@ -1,0 +1,364 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ensemfdet/internal/bipartite"
+	"ensemfdet/internal/stream"
+)
+
+// Source is what the store snapshots: anything handing out immutable
+// versioned CSR views. *stream.Graph is the production implementation.
+type Source interface {
+	Snapshot() (*bipartite.Graph, uint64)
+}
+
+// Store is the durability engine: it implements stream.Journal (the WAL
+// tee), writes background snapshots once the log outgrows the threshold,
+// and recovers a stream.Graph at boot. All methods are safe for concurrent
+// use. Lifecycle: Open → Recover → stream.SetJournal(store) +
+// SetSource(graph) → traffic → Close.
+type Store struct {
+	dir  string
+	opts Options
+	wal  *wal
+	logf func(string, ...any)
+
+	// pending holds the WAL records scanned at Open, consumed by Recover.
+	pending []walRecord
+	torn    bool
+
+	src atomic.Pointer[sourceBox]
+
+	// snapMu serializes snapshot writes (background and forced); snapping
+	// keeps at most one background snapshot goroutine in flight without
+	// making Append wait on an ongoing write. lifeMu orders goroutine
+	// spawns against Close: a kick either observes closed and spawns
+	// nothing, or completes its wg.Add before Close starts waiting — never
+	// an Add concurrent with Wait at counter zero.
+	snapMu   sync.Mutex
+	snapping atomic.Bool
+	lifeMu   sync.Mutex
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+
+	snapVersion    atomic.Uint64
+	bytesSinceSnap atomic.Int64
+	snapsWritten   atomic.Uint64
+	snapErrs       atomic.Uint64
+	snapNs         atomic.Int64
+
+	// walGap is the highest graph version whose batch failed to reach the
+	// WAL (0 = healthy). While non-zero the store is degraded: every
+	// subsequent append is rejected too — acknowledging any later batch
+	// would leave a version hole the replay path can never reproduce. The
+	// gap heals only when a snapshot at or above it lands, because a
+	// snapshot captures the in-memory graph, unjournaled batches included.
+	walGap atomic.Uint64
+
+	recovered RecoveryStats
+}
+
+type sourceBox struct{ src Source }
+
+// Open prepares the durability state under dir (created if missing),
+// scanning the WAL — truncating a torn final record with a logged warning —
+// and locating the newest valid snapshot. Call Recover next to load the
+// state into a graph; a fresh directory recovers to the empty graph.
+func Open(dir string, opts Options) (*Store, error) {
+	logf := opts.logf()
+	if err := os.MkdirAll(filepath.Join(dir, "snap"), 0o755); err != nil {
+		return nil, fmt.Errorf("persist: creating data dir: %w", err)
+	}
+	w, records, torn, err := openWAL(filepath.Join(dir, "wal"), opts.segmentBytes(), opts.Fsync == FsyncAlways, logf)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		dir:     dir,
+		opts:    opts,
+		wal:     w,
+		logf:    logf,
+		pending: records,
+		torn:    torn,
+	}, nil
+}
+
+// Recover loads the newest valid snapshot into g (which must be empty) and
+// replays the WAL records above the snapshot's version, in version order,
+// through g's normal Append path. Install the store as g's journal only
+// after Recover returns, so replayed batches are not re-journaled. A
+// snapshot that fails to decode is skipped with a warning in favor of the
+// next older one.
+func (s *Store) Recover(g *stream.Graph) (RecoveryStats, error) {
+	var rec RecoveryStats
+	rec.TornTail = s.torn
+
+	// maxBadSnap is the highest version an unreadable snapshot file claimed
+	// (from its name). Falling back past such a file is only safe if the WAL
+	// still covers every version it did — otherwise "recovery" would boot a
+	// graph silently missing acknowledged batches, the exact loss the sealed
+	// -segment scan refuses.
+	var snap *bipartite.Graph
+	var maxBadSnap uint64
+	for _, sf := range listSnapshots(filepath.Join(s.dir, "snap")) {
+		loaded, version, err := readSnapshotFile(sf.path)
+		if err != nil {
+			s.logf("persist: skipping unusable snapshot %s: %v", filepath.Base(sf.path), err)
+			if sf.version > maxBadSnap {
+				maxBadSnap = sf.version
+			}
+			continue
+		}
+		snap, rec.SnapshotVersion, rec.SnapshotEdges = loaded, version, loaded.NumEdges()
+		break
+	}
+	if snap != nil {
+		if err := g.Restore(snap, rec.SnapshotVersion); err != nil {
+			return rec, err
+		}
+		s.snapVersion.Store(rec.SnapshotVersion)
+	}
+
+	// Replay the tail in version order: each record re-adds exactly the
+	// edges it added live (dedup handles batch overlap), so versions — and
+	// therefore vote-cache keys — come out identical to the live run.
+	replay := s.pending
+	s.pending = nil
+	sort.Slice(replay, func(i, j int) bool { return replay[i].version < replay[j].version })
+
+	// Every version bump journals exactly one record, so snapshot + WAL must
+	// tile the version sequence. A hole at or below an unreadable snapshot's
+	// claimed version means that snapshot was the only copy of acknowledged
+	// batches: refuse, naming the remedy, rather than silently serving a
+	// graph with data missing. (Holes above maxBadSnap are not checked — a
+	// crash can tear one record of a concurrent pair out of the tail, and
+	// those batches were never acknowledged.)
+	if maxBadSnap > rec.SnapshotVersion {
+		expected := rec.SnapshotVersion + 1
+		for _, r := range replay {
+			if r.version <= rec.SnapshotVersion || expected > maxBadSnap {
+				continue
+			}
+			if r.version != expected {
+				return rec, fmt.Errorf(
+					"persist: recovery would lose versions %d..%d: they are covered only by an unreadable snapshot (claimed version %d); restore it from backup, or delete it to accept the loss",
+					expected, min(r.version-1, maxBadSnap), maxBadSnap)
+			}
+			expected = r.version + 1
+		}
+		if expected <= maxBadSnap {
+			return rec, fmt.Errorf(
+				"persist: recovery would lose versions %d..%d: they are covered only by an unreadable snapshot (claimed version %d); restore it from backup, or delete it to accept the loss",
+				expected, maxBadSnap, maxBadSnap)
+		}
+	}
+
+	var tailBytes int64
+	for _, r := range replay {
+		if r.version <= rec.SnapshotVersion {
+			rec.SkippedRecords++
+			continue
+		}
+		g.Append(r.edges)
+		// Pin the batch to the version it committed as live. Normally the
+		// append's own bump already matches; after an unhealed version hole
+		// (see the package doc) this keeps the surviving acknowledged
+		// versions from being renumbered.
+		g.AdvanceVersionTo(r.version)
+		rec.ReplayedRecords++
+		rec.ReplayedEdges += len(r.edges)
+		tailBytes += r.frameSize()
+	}
+	s.bytesSinceSnap.Store(tailBytes)
+	rec.Version = g.Version()
+	s.recovered = rec
+	return rec, nil
+}
+
+// SetSource enables snapshotting against src. Without a source the store is
+// WAL-only: the log grows until Close.
+func (s *Store) SetSource(src Source) {
+	if src == nil {
+		s.src.Store(nil)
+		return
+	}
+	s.src.Store(&sourceBox{src: src})
+}
+
+// AppendEdges implements stream.Journal: it frames and writes the batch to
+// the WAL (fsyncing under FsyncAlways) before the stream append returns, and
+// kicks a background snapshot once the log has outgrown the threshold.
+//
+// Failure is fail-stop: one WAL error degrades the store, and every
+// subsequent batch is rejected (the stream still commits them in memory, so
+// clients get 500s and reads keep working) until a snapshot at or above the
+// gap restores a consistent durable image — attempted immediately in the
+// background, and again at the size trigger, a manual Snapshot, or Close.
+// After healing, client retries deduplicate against the snapshotted edges,
+// so the "retry on 500" contract stays truthful.
+func (s *Store) AppendEdges(version uint64, edges []bipartite.Edge) error {
+	if s.closed.Load() {
+		return fmt.Errorf("persist: store is closed")
+	}
+	for {
+		gap := s.walGap.Load()
+		if gap == 0 {
+			break
+		}
+		if s.snapVersion.Load() >= gap {
+			// A snapshot covered the hole; resume journaling.
+			if s.walGap.CompareAndSwap(gap, 0) {
+				break
+			}
+			continue
+		}
+		raiseGap(&s.walGap, version) // this batch is unjournaled too
+		// Kick another heal attempt: the original failure's kick may have
+		// cut below a gap raised since (or been swallowed by an in-flight
+		// snapshot), and the size trigger can't fire while appends are
+		// rejected — without this, a healthy disk could stay degraded until
+		// shutdown.
+		s.kickSnapshot()
+		return fmt.Errorf("persist: WAL degraded since a failure at version ≤ %d: batch %d rejected until a covering snapshot lands", gap, version)
+	}
+	n, err := s.wal.append(version, edges)
+	if err != nil {
+		raiseGap(&s.walGap, version)
+		s.kickSnapshot() // try to self-heal without waiting for the size trigger
+		return err
+	}
+	if s.bytesSinceSnap.Add(n) >= s.opts.snapshotBytes() {
+		s.kickSnapshot()
+	}
+	return nil
+}
+
+// raiseGap lifts *gap to at least version.
+func raiseGap(gap *atomic.Uint64, version uint64) {
+	for {
+		cur := gap.Load()
+		if version <= cur || gap.CompareAndSwap(cur, version) {
+			return
+		}
+	}
+}
+
+// kickSnapshot starts one background snapshot unless one is already in
+// flight (or there is no source / the store is closing).
+func (s *Store) kickSnapshot() {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if s.src.Load() == nil || s.closed.Load() || !s.snapping.CompareAndSwap(false, true) {
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer s.snapping.Store(false)
+		if err := s.Snapshot(); err != nil {
+			s.logf("persist: background snapshot failed: %v", err)
+		}
+	}()
+}
+
+// Snapshot synchronously snapshots the source's current graph and truncates
+// the WAL to its version. It is a no-op without a source or when the newest
+// snapshot already covers the current version.
+func (s *Store) Snapshot() error {
+	box := s.src.Load()
+	if box == nil {
+		return nil
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	// Bytes counted before the snapshot cut belong to records the snapshot
+	// will cover (their journal tee completed before the cut's commit lock),
+	// so exactly `pre` is subtracted on success — bytes racing in during the
+	// write keep counting toward the next trigger.
+	pre := s.bytesSinceSnap.Load()
+	g, version := box.src.Snapshot()
+	if version <= s.snapVersion.Load() {
+		return nil
+	}
+	start := time.Now()
+	if _, err := writeSnapshotFile(filepath.Join(s.dir, "snap"), g, version); err != nil {
+		s.snapErrs.Add(1)
+		return err
+	}
+	// The snapshot is durable: drop WAL segments it fully covers. A crash
+	// between the rename above and this truncation only leaves covered
+	// records behind, which replay skips.
+	if err := s.wal.truncateTo(version); err != nil {
+		s.snapErrs.Add(1)
+		return err
+	}
+	s.snapNs.Add(int64(time.Since(start)))
+	s.snapVersion.Store(version)
+	// Eagerly clear a gap this snapshot covers, so the degraded signal in
+	// Stats/metrics (and the next append's fast path) reflect the heal even
+	// if no ingest traffic follows; AppendEdges' lazy check remains the
+	// backstop for a gap raised concurrently above this cut.
+	for {
+		gap := s.walGap.Load()
+		if gap == 0 || gap > version || s.walGap.CompareAndSwap(gap, 0) {
+			break
+		}
+	}
+	s.bytesSinceSnap.Add(-pre)
+	s.snapsWritten.Add(1)
+	s.logf("persist: snapshot at version %d (%d edges), WAL truncated", version, g.NumEdges())
+	return nil
+}
+
+// Sync flushes the WAL to disk regardless of the fsync policy — the
+// FsyncNever escape hatch for checkpoints.
+func (s *Store) Sync() error { return s.wal.sync() }
+
+// Close flushes everything: it waits for any background snapshot, writes a
+// final snapshot if the WAL grew past the last one, and closes the log. The
+// store is unusable afterwards; in-flight AppendEdges calls fail cleanly.
+func (s *Store) Close() error {
+	s.lifeMu.Lock()
+	if !s.closed.CompareAndSwap(false, true) {
+		s.lifeMu.Unlock()
+		return nil
+	}
+	s.lifeMu.Unlock()
+	s.wg.Wait()
+	var err error
+	if s.bytesSinceSnap.Load() > 0 {
+		err = s.Snapshot()
+	}
+	if cerr := s.wal.close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Stats returns current durability counters.
+func (s *Store) Stats() Stats {
+	segs, bytes := s.wal.diskStats()
+	records, appended, fsyncs := s.wal.counters()
+	return Stats{
+		FsyncPolicy:        s.opts.Fsync.String(),
+		WALSegments:        segs,
+		WALBytes:           bytes,
+		AppendedRecords:    records,
+		AppendedBytes:      appended,
+		Fsyncs:             fsyncs,
+		SnapshotsWritten:   s.snapsWritten.Load(),
+		SnapshotErrors:     s.snapErrs.Load(),
+		SnapshotVersion:    s.snapVersion.Load(),
+		BytesSinceSnapshot: s.bytesSinceSnap.Load(),
+		WALGapVersion:      s.walGap.Load(),
+		SnapshotDur:        time.Duration(s.snapNs.Load()),
+		Recovery:           s.recovered,
+	}
+}

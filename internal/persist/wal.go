@@ -1,0 +1,400 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ensemfdet/internal/bipartite"
+)
+
+// WAL record framing, little-endian:
+//
+//	uint32 payloadLen
+//	uint32 crc32c(payload)
+//	payload:
+//	  uint64 version   graph version the batch committed as
+//	  uint32 count     edges in the batch (pre-dedup)
+//	  count × (uint32 u, uint32 v)
+//
+// Segments are named seg-<16-hex-digit index>.wal; the index only orders
+// them. A segment is sealed by rotation (synced, then never written again),
+// so only the final segment can legitimately end mid-record after a crash.
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const walFrameBytes = 8 // length + checksum prefix
+
+// walRecord is one decoded log record.
+type walRecord struct {
+	version uint64
+	edges   []bipartite.Edge
+}
+
+func (r walRecord) frameSize() int64 { return walFrameBytes + 12 + 8*int64(len(r.edges)) }
+
+// segMeta describes one on-disk segment.
+type segMeta struct {
+	index   uint64
+	path    string
+	bytes   int64
+	maxVer  uint64 // highest record version in the segment (0 = none)
+	records int
+}
+
+// wal is the segmented log writer. All mutating methods serialize on mu;
+// concurrent stream appends therefore commit to the log one at a time, which
+// is also what gives each record a well-defined position for truncation.
+type wal struct {
+	dir      string
+	segBytes int64
+	fsync    bool
+	logf     func(string, ...any)
+
+	mu     sync.Mutex
+	sealed []segMeta
+	active segMeta
+	f      *os.File
+	buf    []byte // record encode scratch
+
+	// tainted is set when a record write or fsync fails: the active
+	// segment's on-disk tail is then unknowable (a partial frame, or pages
+	// the kernel dropped after a failed fsync), so no further record may
+	// land after it — a later good record behind garbage would be
+	// unreachable to the boot scan and silently lost. The taint clears only
+	// by rotating to a fresh segment (the tainted one is sealed and, once a
+	// snapshot covers it, deleted).
+	tainted bool
+
+	appendedRecords uint64
+	appendedBytes   uint64
+	fsyncs          uint64
+}
+
+func segPath(dir string, index uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%016x.wal", index))
+}
+
+// openWAL scans dir, truncating a torn tail in the final segment, and
+// returns the writer positioned to append plus every surviving record (the
+// store replays the ones past the snapshot watermark). torn reports whether
+// a tail truncation happened.
+func openWAL(dir string, segBytes int64, fsync bool, logf func(string, ...any)) (w *wal, records []walRecord, torn bool, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, false, fmt.Errorf("persist: creating WAL dir: %w", err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if err != nil {
+		return nil, nil, false, err
+	}
+	sort.Strings(names) // fixed-width hex index → lexicographic = numeric
+
+	w = &wal{dir: dir, segBytes: segBytes, fsync: fsync, logf: logf}
+	for i, name := range names {
+		last := i == len(names)-1
+		recs, meta, tornHere, err := scanSegment(name, last, logf)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		torn = torn || tornHere
+		records = append(records, recs...)
+		if last {
+			w.active = meta
+		} else {
+			w.sealed = append(w.sealed, meta)
+		}
+	}
+	if len(names) == 0 {
+		w.active = segMeta{index: 1, path: segPath(dir, 1)}
+	}
+	// Resume appending into the (possibly just-truncated) final segment.
+	w.f, err = os.OpenFile(w.active.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("persist: opening WAL segment: %w", err)
+	}
+	return w, records, torn, nil
+}
+
+// scanSegment decodes one segment. A record that is truncated, fails its
+// checksum, or does not decode marks the segment torn from that offset: in
+// the final segment the file is truncated there (crash mid-write — the batch
+// was never acknowledged); in a sealed segment it is a hard error, since
+// dropping it would lose acknowledged batches.
+func scanSegment(path string, last bool, logf func(string, ...any)) ([]walRecord, segMeta, bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, segMeta{}, false, fmt.Errorf("persist: reading WAL segment: %w", err)
+	}
+	meta := segMeta{path: path}
+	meta.index, err = parseIndexedName(filepath.Base(path), "seg-", ".wal")
+	if err != nil {
+		return nil, segMeta{}, false, fmt.Errorf("persist: unparseable WAL segment name %q", filepath.Base(path))
+	}
+
+	var records []walRecord
+	off := 0
+	for off < len(data) {
+		rec, n, ok := decodeRecord(data[off:])
+		if !ok {
+			break
+		}
+		records = append(records, rec)
+		meta.records++
+		if rec.version > meta.maxVer {
+			meta.maxVer = rec.version
+		}
+		off += n
+	}
+	meta.bytes = int64(off)
+	if off == len(data) {
+		return records, meta, false, nil
+	}
+	if !last {
+		return nil, segMeta{}, false, fmt.Errorf(
+			"persist: WAL segment %s corrupt at offset %d: not the final segment, refusing to drop acknowledged records", path, off)
+	}
+	logf("persist: truncating torn WAL tail: %s at offset %d (%d bytes dropped; the interrupted batch was never acknowledged)",
+		filepath.Base(path), off, len(data)-off)
+	if err := os.Truncate(path, int64(off)); err != nil {
+		return nil, segMeta{}, false, fmt.Errorf("persist: truncating torn WAL tail: %w", err)
+	}
+	return records, meta, true, nil
+}
+
+// decodeRecord parses one framed record from the head of data, reporting its
+// total size. ok is false for a torn, checksum-failing, or malformed record.
+func decodeRecord(data []byte) (walRecord, int, bool) {
+	if len(data) < walFrameBytes {
+		return walRecord{}, 0, false
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	sum := binary.LittleEndian.Uint32(data[4:])
+	if n < 12 || (n-12)%8 != 0 || walFrameBytes+n > len(data) {
+		return walRecord{}, 0, false
+	}
+	payload := data[walFrameBytes : walFrameBytes+n]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return walRecord{}, 0, false
+	}
+	rec := walRecord{version: binary.LittleEndian.Uint64(payload)}
+	count := int(binary.LittleEndian.Uint32(payload[8:]))
+	if 12+8*count != n || rec.version == 0 {
+		return walRecord{}, 0, false
+	}
+	rec.edges = make([]bipartite.Edge, count)
+	for i := range rec.edges {
+		rec.edges[i] = bipartite.Edge{
+			U: binary.LittleEndian.Uint32(payload[12+8*i:]),
+			V: binary.LittleEndian.Uint32(payload[16+8*i:]),
+		}
+	}
+	return rec, walFrameBytes + n, true
+}
+
+// append encodes and writes one record, rotating the segment first when it
+// is full, and syncs according to policy. The returned size is the framed
+// record's on-disk footprint.
+func (w *wal) append(version uint64, edges []bipartite.Edge) (int64, error) {
+	payloadLen := 12 + 8*len(edges)
+	total := walFrameBytes + payloadLen
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return 0, fmt.Errorf("persist: WAL is closed")
+	}
+	if w.tainted {
+		return 0, fmt.Errorf("persist: WAL segment tainted by an earlier write failure")
+	}
+	if w.active.bytes > 0 && w.active.bytes+int64(total) > w.segBytes {
+		if err := w.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if cap(w.buf) < total {
+		w.buf = make([]byte, total)
+	}
+	buf := w.buf[:total]
+	binary.LittleEndian.PutUint32(buf, uint32(payloadLen))
+	payload := buf[walFrameBytes:]
+	binary.LittleEndian.PutUint64(payload, version)
+	binary.LittleEndian.PutUint32(payload[8:], uint32(len(edges)))
+	for i, e := range edges {
+		binary.LittleEndian.PutUint32(payload[12+8*i:], e.U)
+		binary.LittleEndian.PutUint32(payload[16+8*i:], e.V)
+	}
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, castagnoli))
+
+	if _, err := w.f.Write(buf); err != nil {
+		w.tainted = true // a partial frame may be on disk
+		return 0, fmt.Errorf("persist: WAL write: %w", err)
+	}
+	if w.fsync {
+		if err := w.f.Sync(); err != nil {
+			w.tainted = true // the kernel may have dropped the dirty pages
+			return 0, fmt.Errorf("persist: WAL fsync: %w", err)
+		}
+		w.fsyncs++
+	}
+	w.active.bytes += int64(total)
+	w.active.records++
+	if version > w.active.maxVer {
+		w.active.maxVer = version
+	}
+	w.appendedRecords++
+	w.appendedBytes += uint64(total)
+	return int64(total), nil
+}
+
+// rotateLocked seals the active segment (sync + close) and opens the next.
+// The new segment is created first, so a failure anywhere leaves the old
+// segment active and writable. Rotating is also how a tainted segment is
+// retired: its sync failure is then tolerated, because every record that
+// matters in it is (or will be, before the taint-clearing snapshot) covered
+// elsewhere, and the segment is deleted at the next truncation.
+func (w *wal) rotateLocked() error {
+	next := segMeta{index: w.active.index + 1}
+	next.path = segPath(w.dir, next.index)
+	f, err := os.OpenFile(next.path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: opening WAL segment: %w", err)
+	}
+	if w.tainted {
+		// Cut the unknowable tail (a partial frame, or a record whose fsync
+		// failed) back to the last acknowledged record before sealing: a
+		// sealed segment must always scan cleanly, or a crash before it is
+		// deleted would refuse the next boot over garbage that no
+		// acknowledged batch ever occupied.
+		if err := os.Truncate(w.active.path, w.active.bytes); err != nil {
+			f.Close()
+			os.Remove(next.path)
+			return fmt.Errorf("persist: truncating tainted WAL segment: %w", err)
+		}
+	}
+	if err := w.f.Sync(); err != nil && !w.tainted {
+		f.Close()
+		os.Remove(next.path)
+		return fmt.Errorf("persist: sealing WAL segment: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		w.logf("persist: closing sealed WAL segment %s: %v", filepath.Base(w.active.path), err)
+	}
+	w.sealed = append(w.sealed, w.active)
+	w.f, w.active = f, next
+	w.tainted = false
+	return nil
+}
+
+// truncateTo seals the active segment (if it holds records) and deletes
+// every sealed segment whose records are all at or below version — they are
+// fully covered by the snapshot at that version. Segments containing any
+// newer record are kept whole; replay skips their covered records instead.
+func (w *wal) truncateTo(version uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("persist: WAL is closed")
+	}
+	if w.active.records > 0 || w.tainted {
+		if err := w.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	// Build the survivor list fresh — compacting w.sealed in place would
+	// alias the backing array, and bailing out mid-loop on a remove error
+	// would leave duplicated/stale metadata behind. A segment whose removal
+	// fails stays listed so the next truncation retries it; one already
+	// gone from disk counts as removed.
+	kept := make([]segMeta, 0, len(w.sealed))
+	var firstErr error
+	for _, seg := range w.sealed {
+		if seg.maxVer <= version {
+			if err := os.Remove(seg.path); err != nil && !os.IsNotExist(err) {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("persist: removing covered WAL segment: %w", err)
+				}
+				kept = append(kept, seg)
+			}
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	w.sealed = kept
+	if firstErr != nil {
+		return firstErr
+	}
+	return syncDir(w.dir)
+}
+
+// sync flushes the active segment to disk regardless of policy.
+func (w *wal) sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("persist: WAL fsync: %w", err)
+	}
+	w.fsyncs++
+	return nil
+}
+
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// diskStats reports segment count and total on-disk bytes.
+func (w *wal) diskStats() (segments int, bytes int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, seg := range w.sealed {
+		bytes += seg.bytes
+	}
+	return len(w.sealed) + 1, bytes + w.active.bytes
+}
+
+func (w *wal) counters() (records, appended, fsyncs uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appendedRecords, w.appendedBytes, w.fsyncs
+}
+
+// parseIndexedName extracts the 16-hex-digit index from names shaped like
+// <prefix><index><suffix>.
+func parseIndexedName(name, prefix, suffix string) (uint64, error) {
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	if len(hex) != 16 || hex == name {
+		return 0, fmt.Errorf("persist: name %q does not match %s<16 hex>%s", name, prefix, suffix)
+	}
+	return strconv.ParseUint(hex, 16, 64)
+}
+
+// syncDir fsyncs a directory so renames and removals within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

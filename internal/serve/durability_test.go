@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ensemfdet/internal/persist"
+	"ensemfdet/internal/stream"
+)
+
+// durableDaemon boots the full HTTP stack over a persistence-backed graph,
+// exactly as cmd/ensemfdetd wires it with -data-dir.
+func durableDaemon(t *testing.T, dir string) (*httptest.Server, *Engine) {
+	t.Helper()
+	st, err := persist.Open(dir, persist.Options{Fsync: persist.FsyncAlways, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stream.New()
+	if _, err := st.Recover(g); err != nil {
+		t.Fatal(err)
+	}
+	g.SetJournal(st)
+	st.SetSource(g)
+	engine := NewEngine(g, Options{})
+	engine.AttachPersist(st)
+	srv := httptest.NewServer(NewHandler(engine))
+	t.Cleanup(srv.Close)
+	return srv, engine
+}
+
+func getRaw(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, raw)
+	}
+	return raw
+}
+
+// TestDaemonDurabilityEndToEnd is the restart drill over HTTP: ingest,
+// record /v1/votes, shut the engine down (flush), boot a second daemon over
+// the same directory, and require the votes responses to be byte-identical.
+// Persist counters must be visible in /v1/stats and /metrics throughout.
+func TestDaemonDurabilityEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	srv, engine := durableDaemon(t, dir)
+
+	for i, batch := range fraudBatches() {
+		if code := postJSON(t, srv.URL+"/v1/edges", map[string]any{"edges": batch}, nil); code != http.StatusOK {
+			t.Fatalf("ingest batch %d: status %d", i, code)
+		}
+	}
+	const votesURL = "/v1/votes?n=12&s=0.3&seed=7&top=10"
+	before := getRaw(t, srv.URL+votesURL)
+
+	var st Stats
+	getJSON(t, srv.URL+"/v1/stats", &st)
+	if st.Persist == nil || st.Persist.AppendedRecords != 3 || st.Persist.FsyncPolicy != "always" {
+		t.Fatalf("persist stats section: %+v", st.Persist)
+	}
+	metrics := string(getRaw(t, srv.URL+"/metrics"))
+	for _, want := range []string{
+		"ensemfdetd_wal_records_total 3",
+		"ensemfdetd_wal_fsyncs_total",
+		"ensemfdetd_persist_snapshot_version",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Graceful shutdown: flush a covering snapshot and close the WAL.
+	if err := engine.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, engine2 := durableDaemon(t, dir)
+	defer engine2.Close()
+	after := getRaw(t, srv2.URL+votesURL)
+	if !bytes.Equal(before, after) {
+		t.Fatalf("votes diverged across restart:\nbefore: %s\nafter:  %s", before, after)
+	}
+	var st2 Stats
+	getJSON(t, srv2.URL+"/v1/stats", &st2)
+	if st2.Graph.Version != st.Graph.Version {
+		t.Fatalf("recovered version %d, want %d", st2.Graph.Version, st.Graph.Version)
+	}
+	if st2.Persist.Recovery.SnapshotVersion != st.Graph.Version {
+		t.Fatalf("recovery did not use the shutdown snapshot: %+v", st2.Persist.Recovery)
+	}
+}

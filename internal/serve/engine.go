@@ -25,6 +25,7 @@ import (
 
 	"ensemfdet/internal/bipartite"
 	"ensemfdet/internal/core"
+	"ensemfdet/internal/persist"
 	"ensemfdet/internal/sampling"
 	"ensemfdet/internal/stream"
 )
@@ -202,6 +203,11 @@ type Engine struct {
 	ingestBatches atomic.Uint64
 	ingestEdges   atomic.Uint64 // edges actually added (post-dedup)
 	ingestDups    atomic.Uint64
+
+	// persist, when attached, is the daemon's durability store; the engine
+	// only observes it (Stats, /metrics) and closes it on shutdown — the
+	// write path reaches it through the stream graph's journal hook.
+	persist *persist.Store
 }
 
 // NewEngine returns an Engine serving detections over src.
@@ -476,6 +482,9 @@ type Stats struct {
 	EnsembleRuns uint64             `json:"ensemble_runs"`
 	InFlight     int                `json:"in_flight"`
 	IngestStats  IngestStats        `json:"ingest"`
+	// Persist reports WAL and snapshot counters when a durability store is
+	// attached; nil for a memory-only daemon.
+	Persist *persist.Stats `json:"persist,omitempty"`
 }
 
 // IngestStats counts what passed through Ingest (the daemon's chokepoint).
@@ -510,7 +519,26 @@ func (e *Engine) Stats() Stats {
 		b := bs.BuildStats()
 		st.Build = &b
 	}
+	if e.persist != nil {
+		p := e.persist.Stats()
+		st.Persist = &p
+	}
 	return st
+}
+
+// AttachPersist registers the durability store backing this engine's graph,
+// surfacing its counters in Stats and /metrics and handing its lifetime to
+// Close. Attach before serving traffic.
+func (e *Engine) AttachPersist(st *persist.Store) { e.persist = st }
+
+// Close flushes and closes the attached durability store (final snapshot +
+// WAL sync); it is a no-op for a memory-only engine. Call it after the HTTP
+// server has drained, so no ingest races the shutdown flush.
+func (e *Engine) Close() error {
+	if e.persist == nil {
+		return nil
+	}
+	return e.persist.Close()
 }
 
 // Source exposes the underlying dynamic graph. Ingest should go through
@@ -526,13 +554,19 @@ func (e *Engine) Ingest(edges []bipartite.Edge) (stream.AppendResult, error) {
 	maxID := e.opts.maxNodeID()
 	for i, ed := range edges {
 		if ed.U > maxID || ed.V > maxID {
-			return stream.AppendResult{}, fmt.Errorf("serve: %w: edge %d: node id exceeds the configured maximum %d",
-				ErrInvalidParams, i, maxID)
+			return stream.AppendResult{}, fmt.Errorf("serve: %w: edge %d: %w: node id exceeds the configured maximum %d",
+				ErrInvalidParams, i, bipartite.ErrIDRange, maxID)
 		}
 	}
 	res := e.src.Append(edges)
 	e.ingestBatches.Add(1)
 	e.ingestEdges.Add(uint64(res.Added))
 	e.ingestDups.Add(uint64(res.Duplicates))
+	if res.Err != nil {
+		// The batch is in memory but the journal did not acknowledge it:
+		// fail the request so the client retries (dedup makes that safe)
+		// instead of believing the batch durable.
+		return res, fmt.Errorf("serve: %w", res.Err)
+	}
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -62,8 +63,15 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 		return fmt.Errorf("bad request body: %w", err)
 	}
 	// Reject trailing garbage so a concatenated or truncated payload fails
-	// loudly instead of half-applying.
+	// loudly instead of half-applying. The limit reader can trip here too —
+	// a first value that fits followed by bytes that push past the cap — and
+	// that must keep reporting as an over-limit body (413), not as trailing
+	// data (400).
 	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return fmt.Errorf("bad request body: %w", err)
+		}
 		return errors.New("bad request body: trailing data after JSON value")
 	}
 	return nil
@@ -109,7 +117,10 @@ func handleEdges(e *Engine, w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := e.Ingest(batch)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		// An id-bound rejection is the client's to fix (400); a journal
+		// failure is a server-side durability fault (500) — the client
+		// should retry once the log is healthy, and dedup makes that safe.
+		writeError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, edgesResponse{
@@ -159,7 +170,7 @@ func handleDetect(e *Engine, w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	det, err := e.Detect(r.Context(), req.params(), t)
 	if err != nil {
-		writeError(w, statusFor(r, err), err)
+		writeError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, detectResponse{
@@ -193,12 +204,15 @@ func handleVotes(e *Engine, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad s: %w", err))
 		return
 	}
-	seed, err := intParam(q.Get("seed"), 0)
+	// Seed is an int64 everywhere else (the JSON body, core.Config); parsing
+	// it as the platform int would truncate large seeds on 32-bit builds and
+	// silently change which ensemble a cache key names.
+	seed, err := int64Param(q.Get("seed"), 0)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad seed: %w", err))
 		return
 	}
-	p.Seed = int64(seed)
+	p.Seed = seed
 	minVotes, err := intParam(q.Get("min"), 1)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad min: %w", err))
@@ -211,7 +225,7 @@ func handleVotes(e *Engine, w http.ResponseWriter, r *http.Request) {
 	}
 	rk, err := e.Rank(r.Context(), p, minVotes, top)
 	if err != nil {
-		writeError(w, statusFor(r, err), err)
+		writeError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, votesResponse{
@@ -230,6 +244,13 @@ func intParam(s string, def int) (int, error) {
 	return strconv.Atoi(s)
 }
 
+func int64Param(s string, def int64) (int64, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.ParseInt(s, 10, 64)
+}
+
 func floatParam(s string, def float64) (float64, error) {
 	if s == "" {
 		return def, nil
@@ -237,16 +258,21 @@ func floatParam(s string, def float64) (float64, error) {
 	return strconv.ParseFloat(s, 64)
 }
 
-// statusFor maps engine errors to HTTP statuses: a canceled request is the
-// client's doing, a validation error is a 400, anything else is a 500.
-func statusFor(r *http.Request, err error) int {
-	if r.Context().Err() != nil {
-		return 499 // client closed request (nginx convention)
-	}
-	if errors.Is(err, ErrInvalidParams) {
+// statusFor maps engine errors to HTTP statuses by inspecting the error
+// itself, never the request context: a request can fail validation (400) or
+// hit a real engine fault (500) and only then have its client hang up, and
+// those statuses — which land in logs and metrics — must not be masked as
+// 499 by the late disconnect. Only an error that is the cancellation gets
+// the client-closed-request status.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrInvalidParams):
 		return http.StatusBadRequest
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusInternalServerError
 	}
-	return http.StatusInternalServerError
 }
 
 // emptyNotNull keeps empty result sets serializing as [] rather than null.

@@ -2,14 +2,18 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"testing"
 
+	"ensemfdet/internal/bipartite"
 	"ensemfdet/internal/stream"
 )
 
@@ -294,5 +298,128 @@ func TestDaemonConcurrentClients(t *testing.T) {
 	getJSON(t, srv.URL+"/v1/stats", &st)
 	if st.EnsembleRuns != 1 {
 		t.Errorf("%d concurrent clients caused %d ensemble runs, want 1", clients, st.EnsembleRuns)
+	}
+}
+
+// TestStatusForInspectsError pins the 499-masking fix: the error decides the
+// status, and only a cancellation error maps to 499.
+func TestStatusForInspectsError(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"validation", fmt.Errorf("serve: %w: bad S", ErrInvalidParams), http.StatusBadRequest},
+		{"canceled", context.Canceled, 499},
+		{"wrapped canceled", fmt.Errorf("wait: %w", context.Canceled), 499},
+		{"deadline", context.DeadlineExceeded, 499},
+		{"engine fault", errors.New("ensemble run panicked"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		if got := statusFor(tc.err); got != tc.want {
+			t.Errorf("%s: statusFor = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestValidationErrorWithCanceledContext is the regression the unit table
+// cannot express end-to-end: a request that fails validation while its
+// client has already disconnected must report 400, not 499 — the old code
+// consulted r.Context().Err() first and masked every such failure.
+func TestValidationErrorWithCanceledContext(t *testing.T) {
+	h := NewHandler(NewEngine(stream.New(), Options{}))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("GET", "/v1/votes?s=7.5", nil).WithContext(ctx)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("validation failure under a canceled context: status %d, want 400", rr.Code)
+	}
+	// An actually-canceled wait still reports 499.
+	req = httptest.NewRequest("GET", "/v1/votes?n=4&s=0.5", nil).WithContext(ctx)
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != 499 {
+		t.Fatalf("canceled wait: status %d, want 499", rr.Code)
+	}
+}
+
+// TestVotesSeedInt64 pins the seed query parameter to a full-int64 parse: a
+// seed above 2^31-1 must hit the same cache entry as the identical JSON-body
+// seed on every platform, not overflow a platform int.
+func TestVotesSeedInt64(t *testing.T) {
+	srv := daemon(t)
+	postJSON(t, srv.URL+"/v1/edges", map[string]any{"edges": fraudBatches()[2]}, nil)
+
+	const seed = int64(3_000_000_000) // > 2^31-1
+	var d detectResponse
+	if code := postJSON(t, srv.URL+"/v1/detect",
+		map[string]any{"n": 8, "s": 0.4, "seed": seed}, &d); code != http.StatusOK {
+		t.Fatalf("detect with 33-bit seed: status %d", code)
+	}
+	var v votesResponse
+	url := fmt.Sprintf("%s/v1/votes?n=8&s=0.4&seed=%d", srv.URL, seed)
+	if code := getJSON(t, url, &v); code != http.StatusOK {
+		t.Fatalf("votes with 33-bit seed: status %d", code)
+	}
+	// Same seed through the query path must be the cached body-path entry.
+	if !v.Cached {
+		t.Fatal("query-path seed did not hit the body-path cache entry")
+	}
+	if _, err := strconv.ParseInt("9223372036854775808", 10, 64); err == nil {
+		t.Fatal("sanity: out-of-range int64 must not parse")
+	}
+	resp, err := http.Get(srv.URL + "/v1/votes?seed=9223372036854775808")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("overflowing seed: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestOversizedTrailingBody413 pins the decodeBody fix: a body whose first
+// JSON value fits under the limit but whose trailing bytes push past it is an
+// over-limit body (413), not "trailing data" (400).
+func TestOversizedTrailingBody413(t *testing.T) {
+	srv := daemon(t)
+	body := append([]byte(`{"t":1}`), bytes.Repeat([]byte(" "), maxBodyBytes+16)...)
+	resp, err := http.Post(srv.URL+"/v1/detect", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-limit trailing bytes: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// failingJournal rejects every batch, simulating a full or broken disk.
+type failingJournal struct{}
+
+func (failingJournal) AppendEdges(uint64, []bipartite.Edge) error {
+	return errors.New("disk full")
+}
+
+// TestIngestJournalFailureIs500 pins the durability error path: a WAL
+// failure is a server fault (500, retryable), never a 400.
+func TestIngestJournalFailureIs500(t *testing.T) {
+	g := stream.New()
+	g.SetJournal(failingJournal{})
+	srv := httptest.NewServer(NewHandler(NewEngine(g, Options{})))
+	t.Cleanup(srv.Close)
+	resp, err := http.Post(srv.URL+"/v1/edges", "application/json",
+		bytes.NewReader([]byte(`{"edges":[[1,2]]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("journal failure: status %d, want 500", resp.StatusCode)
 	}
 }

@@ -55,6 +55,18 @@ func handleMetrics(e *Engine, w http.ResponseWriter, _ *http.Request) {
 			fmt.Fprintf(w, "%s{shard=\"%d\"} %d\n", name, s.Shard, s.NumEdges)
 		}
 	}
+	if p := st.Persist; p != nil {
+		counter("ensemfdetd_wal_records_total", "Edge batches appended to the write-ahead log.", p.AppendedRecords)
+		counter("ensemfdetd_wal_bytes_total", "Bytes appended to the write-ahead log.", p.AppendedBytes)
+		counter("ensemfdetd_wal_fsyncs_total", "WAL fsync calls.", p.Fsyncs)
+		gauge("ensemfdetd_wal_segments", "WAL segments currently on disk.", int64(p.WALSegments))
+		gauge("ensemfdetd_wal_disk_bytes", "WAL bytes currently on disk.", p.WALBytes)
+		counter("ensemfdetd_persist_snapshots_total", "Durable graph snapshots written.", p.SnapshotsWritten)
+		counter("ensemfdetd_persist_snapshot_errors_total", "Failed snapshot attempts.", p.SnapshotErrors)
+		gauge("ensemfdetd_persist_snapshot_version", "Graph version of the newest durable snapshot.", int64(p.SnapshotVersion))
+		gauge("ensemfdetd_persist_wal_bytes_since_snapshot", "WAL growth past the newest snapshot (snapshot trigger input).", p.BytesSinceSnapshot)
+		gauge("ensemfdetd_persist_wal_gap_version", "Non-zero when ingest is degraded by a WAL failure; heals at the next covering snapshot.", int64(p.WALGapVersion))
+	}
 }
 
 // formatSeconds renders a float in the shortest round-trippable form, the

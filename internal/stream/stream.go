@@ -35,6 +35,8 @@
 package stream
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -82,6 +84,11 @@ type Graph struct {
 	// serialize against captures and same-shard writers, never each other.
 	commitMu sync.RWMutex
 	version  atomic.Uint64
+
+	// journal, when set, receives every batch that added edges, tagged with
+	// the version the batch committed as. It is read under commitMu's read
+	// half and swapped under the write half, so a batch never races the tee.
+	journal Journal
 
 	// Size counters, updated once per touched shard per batch; reads are
 	// lock-free and exact whenever no append is in flight.
@@ -168,6 +175,61 @@ type AppendResult struct {
 	// when no other writer races this batch; concurrent batches may be
 	// partially included.
 	Stats Stats
+	// Err reports a journal (durability) failure: the batch is committed in
+	// memory, but the write-ahead log did not acknowledge it, so it may not
+	// survive a restart. Callers serving durable ingest must fail the
+	// request; a retry is safe because appends deduplicate.
+	Err error
+}
+
+// Journal is the persistence tee: when installed via SetJournal, every batch
+// that adds at least one edge is handed to AppendEdges with the version the
+// batch committed as, before the append returns. The full pre-dedup batch is
+// journaled — replaying it through Append is idempotent. Implementations are
+// called concurrently (one call per in-flight batch) and must serialize
+// internally; internal/persist.Store is the production implementation.
+type Journal interface {
+	AppendEdges(version uint64, edges []bipartite.Edge) error
+}
+
+// SetJournal installs (or, with nil, removes) the durability tee. Install it
+// after recovery has replayed any existing log and before accepting traffic;
+// batches appended while no journal is set are not persisted.
+func (g *Graph) SetJournal(j Journal) {
+	g.commitMu.Lock()
+	defer g.commitMu.Unlock()
+	g.journal = j
+}
+
+// Restore seeds an empty dynamic graph from a recovered snapshot, adopting
+// its version. The snapshot is also pre-published as the graph's cached CSR
+// snapshot, so the first post-boot Snapshot — and every delta build after it
+// — starts from the recovered arrays instead of rebuilding O(|E|) state.
+// Restore must run before any Append and before SetJournal; snap must be a
+// canonical CSR (one produced by this package's Snapshot or the bipartite
+// codec), or later incremental snapshots would diverge from full rebuilds.
+func (g *Graph) Restore(snap *bipartite.Graph, version uint64) error {
+	if g.version.Load() != 0 || g.numEdges.Load() != 0 {
+		return errors.New("stream: Restore requires an empty graph")
+	}
+	if snap == nil {
+		g.version.Store(version)
+		return nil
+	}
+	if res := g.Append(snap.EdgeList()); res.Duplicates != 0 {
+		return fmt.Errorf("stream: restore snapshot contained %d duplicate edges", res.Duplicates)
+	}
+	atomicMax(&g.numUsers, int64(snap.NumUsers()))
+	atomicMax(&g.numMerchants, int64(snap.NumMerchants()))
+	marks := make([]int, len(g.shards))
+	for i := range g.shards {
+		g.shards[i].mu.Lock()
+		marks[i] = len(g.shards[i].edges)
+		g.shards[i].mu.Unlock()
+	}
+	g.snap.Store(&snapshot{g: snap, version: version, marks: marks})
+	g.version.Store(version)
+	return nil
 }
 
 // Append records a batch of purchase edges, deduplicating against everything
@@ -211,6 +273,17 @@ func (g *Graph) Append(edges []bipartite.Edge) AppendResult {
 		atomicMax(&g.numUsers, maxU+1)
 		atomicMax(&g.numMerchants, maxV+1)
 		res.Version = g.version.Add(1)
+		// Tee the batch into the journal before acknowledging, still under
+		// the commit read lock: a snapshot capture at version V therefore
+		// never completes before every batch with version ≤ V has been
+		// offered to the log, which is what makes truncating the log at a
+		// snapshot's watermark safe. The full pre-dedup batch is journaled;
+		// replay re-deduplicates.
+		if g.journal != nil {
+			if err := g.journal.AppendEdges(res.Version, edges); err != nil {
+				res.Err = fmt.Errorf("stream: journal append at version %d: %w", res.Version, err)
+			}
+		}
 	} else {
 		res.Version = g.version.Load()
 	}
@@ -295,6 +368,22 @@ func (g *Graph) AppendEdge(u, v uint32) AppendResult {
 
 // Version returns the current graph version. Version 0 is the empty graph.
 func (g *Graph) Version() uint64 { return g.version.Load() }
+
+// AdvanceVersionTo raises the version counter to v if it is currently
+// lower. It exists for WAL replay: a crash can leave a version hole — a
+// batch that failed to journal, or one record of a concurrent pair torn
+// from the log tail — and replaying the surviving records then advancing to
+// each record's original version keeps recovered version labels (and
+// therefore vote-cache keys) identical to what acknowledged clients saw,
+// instead of silently renumbering everything after the hole.
+func (g *Graph) AdvanceVersionTo(v uint64) {
+	for {
+		cur := g.version.Load()
+		if v <= cur || g.version.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
 
 // Stats is a point-in-time size summary of the dynamic graph.
 type Stats struct {

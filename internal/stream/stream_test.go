@@ -274,3 +274,130 @@ func TestConcurrentIngestAndSnapshot(t *testing.T) {
 		})
 	}
 }
+
+// recordingJournal captures journaled batches; err, when set, is returned
+// from every AppendEdges call.
+type recordingJournal struct {
+	mu       sync.Mutex
+	versions []uint64
+	batches  [][]bipartite.Edge
+	err      error
+}
+
+func (j *recordingJournal) AppendEdges(version uint64, edges []bipartite.Edge) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	j.versions = append(j.versions, version)
+	j.batches = append(j.batches, append([]bipartite.Edge(nil), edges...))
+	return nil
+}
+
+func TestJournalTeesAddingBatches(t *testing.T) {
+	g := NewSharded(4)
+	j := &recordingJournal{}
+	g.SetJournal(j)
+
+	res := g.Append([]bipartite.Edge{{U: 0, V: 0}, {U: 1, V: 1}, {U: 0, V: 0}})
+	if res.Err != nil || res.Version != 1 {
+		t.Fatalf("first append: %+v", res)
+	}
+	// An all-duplicate batch must not be journaled: it did not change the
+	// graph, so replaying the log without it reproduces the same state.
+	res = g.Append([]bipartite.Edge{{U: 0, V: 0}})
+	if res.Added != 0 || res.Err != nil {
+		t.Fatalf("dup append: %+v", res)
+	}
+	g.AppendEdge(2, 2)
+
+	if len(j.versions) != 2 || j.versions[0] != 1 || j.versions[1] != 2 {
+		t.Fatalf("journaled versions = %v, want [1 2]", j.versions)
+	}
+	// The full pre-dedup batch is journaled (replay re-deduplicates).
+	if len(j.batches[0]) != 3 {
+		t.Fatalf("journaled batch 1 has %d edges, want the full batch of 3", len(j.batches[0]))
+	}
+}
+
+func TestJournalErrorSurfacesInResult(t *testing.T) {
+	g := New()
+	j := &recordingJournal{err: errFailedJournal}
+	g.SetJournal(j)
+	res := g.AppendEdge(1, 1)
+	if res.Err == nil {
+		t.Fatal("journal failure not surfaced in AppendResult.Err")
+	}
+	// The in-memory commit still happened (at-least-once semantics): a retry
+	// after the journal recovers deduplicates.
+	if res.Added != 1 || g.Stats().NumEdges != 1 {
+		t.Fatalf("failed-journal append result: %+v", res)
+	}
+}
+
+var errFailedJournal = errBoom{}
+
+type errBoom struct{}
+
+func (errBoom) Error() string { return "boom" }
+
+func TestRestoreAdoptsSnapshotAndVersion(t *testing.T) {
+	src := NewSharded(4)
+	src.Append(randomEdges(21, 1000, 200, 200))
+	src.Append(randomEdges(22, 1000, 200, 200))
+	snap, v := src.Snapshot()
+
+	for _, shards := range []int{1, 8} {
+		g := NewSharded(shards)
+		if err := g.Restore(snap, v); err != nil {
+			t.Fatal(err)
+		}
+		if g.Version() != v {
+			t.Fatalf("restored version = %d, want %d", g.Version(), v)
+		}
+		st := g.Stats()
+		if st.NumEdges != snap.NumEdges() || st.NumUsers != snap.NumUsers() || st.NumMerchants != snap.NumMerchants() {
+			t.Fatalf("restored stats %+v, want snapshot shape %v", st, snap)
+		}
+		// The recovered CSR is pre-published: the first Snapshot returns it
+		// without any rebuild.
+		got, gv := g.Snapshot()
+		if got != snap || gv != v {
+			t.Fatal("first post-restore Snapshot rebuilt instead of reusing the recovered CSR")
+		}
+		if bs := g.BuildStats(); bs.FullBuilds != 0 || bs.DeltaBuilds != 0 {
+			t.Fatalf("restore triggered builds: %+v", bs)
+		}
+		// Appends continue from the restored state via the delta path and
+		// match the source graph exactly.
+		extra := randomEdges(23, 500, 250, 250)
+		g.Append(extra)
+		src2 := NewSharded(4)
+		src2.Append(randomEdges(21, 1000, 200, 200))
+		src2.Append(randomEdges(22, 1000, 200, 200))
+		src2.Append(extra)
+		want, _ := src2.Snapshot()
+		have, _ := g.Snapshot()
+		if !graphsEqual(have, want) {
+			t.Fatal("post-restore append diverges from an uninterrupted graph")
+		}
+	}
+
+	// Restore refuses a non-empty graph.
+	g := New()
+	g.AppendEdge(0, 0)
+	if err := g.Restore(snap, v); err == nil {
+		t.Fatal("Restore on a non-empty graph must fail")
+	}
+}
+
+func TestRestoreNilSnapshot(t *testing.T) {
+	g := New()
+	if err := g.Restore(nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if g.Version() != 0 || g.Stats().NumEdges != 0 {
+		t.Fatalf("nil restore changed the graph: %+v", g.Stats())
+	}
+}
