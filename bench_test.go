@@ -15,6 +15,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"ensemfdet"
 	"ensemfdet/internal/bipartite"
@@ -397,6 +398,64 @@ func BenchmarkSnapshotDelta(b *testing.B) {
 				b.Fatalf("delta path used for %d of %d snapshots", bs.DeltaBuilds, b.N)
 			}
 		})
+	}
+}
+
+// BenchmarkWindowedChurn measures the steady-state cost of a sliding-window
+// daemon: a graph pinned at ~64k live edges ingests fresh 256-edge batches
+// while a MaxEdges window retires the oldest versions every 16 batches and a
+// snapshot rebuild (delta path with deletions) follows each retire. edges/s
+// is the sustained churn throughput; compare against the unbounded
+// BenchmarkStreamIngest / BenchmarkSnapshotDelta numbers in BENCH_pr3.json —
+// windowing must not regress the append path itself (the retire pass and
+// deletion-aware merges are the new, additive cost).
+func BenchmarkWindowedChurn(b *testing.B) {
+	const (
+		windowEdges  = 1 << 16
+		batch        = 256
+		retireEvery  = 16
+		idSpaceUsers = 1 << 20
+	)
+	sg := ensemfdet.NewStreamGraphSharded(8)
+	sg.SetWindow(ensemfdet.WindowPolicy{MaxEdges: windowEdges})
+	buf := make([]bipartite.Edge, batch)
+	seq := uint64(0)
+	fill := func() {
+		for j := range buf {
+			k := seq
+			seq++
+			h := (k + 1) * 0x9E3779B97F4A7C15
+			// Cycle a bounded id space: after the window retires an edge its
+			// ids eventually recur, exercising the re-ingest path too.
+			buf[j] = bipartite.Edge{
+				U: uint32(h>>40) & (idSpaceUsers - 1),
+				V: uint32(h>>20) & (1<<18 - 1),
+			}
+		}
+	}
+	// Pre-fill to the window size so the loop measures steady state.
+	for sg.Stats().NumEdges < windowEdges {
+		fill()
+		sg.Append(buf)
+	}
+	sg.Retire(time.Now())
+	sg.Snapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fill()
+		sg.Append(buf)
+		if i%retireEvery == retireEvery-1 {
+			sg.Retire(time.Now())
+			if snap, _ := sg.Snapshot(); snap.NumEdges() == 0 {
+				b.Fatal("window drained the graph")
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "edges/s")
+	if ws := sg.WindowStats(); b.N > 2*retireEvery && ws.RetiredEdges == 0 {
+		b.Fatal("steady-state churn never retired anything")
 	}
 }
 

@@ -6,6 +6,7 @@
 //
 //	ensemfdetd [-addr :8080] [-load transactions.tsv] [-shards 0] [-max-concurrent 2] [-cache-size 32]
 //	           [-data-dir /var/lib/ensemfdetd] [-fsync always] [-snapshot-every 16777216]
+//	           [-window-age 720h] [-window-versions 0] [-window-max-edges 0] [-retire-every 1s]
 //
 // The API (JSON unless noted):
 //
@@ -28,12 +29,23 @@
 // /metrics expose per-shard sizes and the delta-vs-full build counts. Shard
 // count never affects detection results.
 //
+// With a window flag set the daemon serves a sliding window over the edge
+// stream instead of growing forever: a background pass every -retire-every
+// retires edges older than -window-age (wall clock) or -window-versions
+// (ingest batches), and -window-max-edges caps the live set by retiring
+// the oldest edges. Retired edges leave the dedup set — a re-observed
+// purchase re-ingests with fresh recency — and /v1/stats gains a "window"
+// section (ensemfdetd_window_* in /metrics).
+//
 // With -data-dir set the daemon is durable: every accepted ingest batch is
 // framed into a checksummed write-ahead log (fsynced before the HTTP 200
-// under -fsync always), binary CSR snapshots are written in the background
+// under -fsync always), edge retirements are framed as tombstone records in
+// the same log (format v2; pre-windowing v1 segments still replay), binary
+// CSR snapshots recording the window watermark are written in the background
 // once the log grows past -snapshot-every bytes, and a restart — graceful
-// or kill -9 — recovers the same graph and version, truncating a torn WAL
-// tail from a mid-write crash instead of refusing to start.
+// or kill -9 — recovers the same graph, version and watermark, truncating a
+// torn WAL tail from a mid-write crash instead of refusing to start. No
+// restart resurrects an expired edge.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests for up to -drain seconds, then flushing a final snapshot.
@@ -73,6 +85,10 @@ func run() error {
 		dataDir  = flag.String("data-dir", "", "durability directory (WAL + snapshots); empty = memory-only")
 		fsync    = flag.String("fsync", "always", "WAL flush policy: always (ack after fsync) or never (OS page cache)")
 		snapEvry = flag.Int64("snapshot-every", 16<<20, "WAL growth in bytes that triggers a background snapshot")
+		winAge   = flag.Duration("window-age", 0, "retire edges older than this wall-clock age (0 = unbounded)")
+		winVers  = flag.Uint64("window-versions", 0, "keep only the newest N ingest versions of edges (0 = unbounded)")
+		winEdges = flag.Int("window-max-edges", 0, "cap live edges, retiring oldest ones past it (0 = unbounded)")
+		retireEv = flag.Duration("retire-every", time.Second, "period of the window retire pass (only with a window flag set)")
 	)
 	flag.Parse()
 	if *maxNode > ensemfdet.MaxNodeID {
@@ -88,9 +104,24 @@ func run() error {
 	if *snapEvry <= 0 {
 		return fmt.Errorf("-snapshot-every must be positive, got %d", *snapEvry)
 	}
+	if *winAge < 0 || *winEdges < 0 {
+		return fmt.Errorf("-window-age and -window-max-edges must be non-negative")
+	}
+	window := ensemfdet.WindowPolicy{MaxAge: *winAge, MaxVersions: *winVers, MaxEdges: *winEdges}
+	if window.Enabled() && *retireEv <= 0 {
+		return fmt.Errorf("-retire-every must be positive with a window set, got %v", *retireEv)
+	}
 
 	sg := ensemfdet.NewStreamGraphSharded(*shards)
 	log.Printf("ingest sharding: %d shards", sg.NumShards())
+	if window.Enabled() {
+		// Install the policy before recovery: recovery replays explicit
+		// tombstones and never re-evaluates the policy, so this only arms
+		// the post-boot retire ticker.
+		sg.SetWindow(window)
+		log.Printf("window: age=%v versions=%d max-edges=%d (retire every %v)",
+			*winAge, *winVers, *winEdges, *retireEv)
+	}
 
 	var store *ensemfdet.PersistStore
 	if *dataDir != "" {
@@ -142,6 +173,34 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	var retireDone chan struct{}
+	if window.Enabled() {
+		// The retire ticker enforces the age bounds (the engine itself kicks
+		// an extra pass when ingest blows through a count bound). A journal
+		// failure inside a pass degrades the store exactly like a failed
+		// append — log it; the next covering snapshot heals it. The done
+		// channel lets shutdown join an in-flight pass before closing the
+		// persistence store: a retirement that commits after the final
+		// snapshot cut with its tombstone refused by a closed WAL would
+		// resurrect the expired edges on the next boot.
+		retireDone = make(chan struct{})
+		go func() {
+			defer close(retireDone)
+			t := time.NewTicker(*retireEv)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if res, ok := engine.RetireNow(); ok && res.Err != nil {
+						log.Printf("retire pass at version %d: %v", res.Version, res.Err)
+					}
+				}
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("ensemfdetd listening on %s", *addr)
@@ -163,8 +222,13 @@ func run() error {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
-	// The server has drained: flush a final snapshot and close the WAL so
-	// the next boot recovers without replay.
+	// The server has drained; join the retire ticker (its context is already
+	// canceled, but an in-flight pass must land its tombstone before the
+	// WAL closes), then flush a final snapshot and close the WAL so the
+	// next boot recovers without replay.
+	if retireDone != nil {
+		<-retireDone
+	}
 	if err := engine.Close(); err != nil {
 		return fmt.Errorf("flushing persistence: %w", err)
 	}

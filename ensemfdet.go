@@ -299,6 +299,25 @@ const MaxStreamShards = stream.MaxShards
 // snapshots — and therefore votes — are byte-identical across shard counts.
 func NewStreamGraphSharded(shards int) *StreamGraph { return stream.NewSharded(shards) }
 
+// WindowPolicy bounds a StreamGraph's live edge set for unbounded streams:
+// by wall-clock age, by version age, by live edge count, or any combination.
+// Install with StreamGraph.SetWindow; apply with StreamGraph.Retire (the
+// daemon runs a periodic retire ticker via -retire-every). Expired edges
+// leave the dedup set, so a re-observed purchase re-ingests with fresh
+// recency.
+type WindowPolicy = stream.WindowPolicy
+
+// WindowMark is the expiry watermark: no live edge carries an ingest stamp
+// at or below it. Durable snapshots persist the mark so recovery restores
+// expiry progress along with the edges.
+type WindowMark = stream.WindowMark
+
+// WindowStats reports window policy, watermark, and retire counters.
+type WindowStats = stream.WindowStats
+
+// RetireResult summarizes one retire pass or explicit StreamGraph.Remove.
+type RetireResult = stream.RetireResult
+
 // DetectEngine serves detection queries over a StreamGraph from a vote
 // cache, single-flighting concurrent identical requests.
 type DetectEngine = serve.Engine

@@ -8,29 +8,36 @@ import (
 )
 
 // ExtendBuilder constructs a new immutable Graph from a previous Graph plus a
-// batch of delta edges, without re-sorting or re-scattering the edges the
-// previous graph already laid out. It is the incremental half of the
-// streaming snapshot path: a full rebuild pays O(|E| log |E|) to sort the
-// whole edge log, while Extend pays O(|Δ| log |Δ|) to sort only the delta and
-// then merges it into the previous CSR — unaffected rows are block-copied,
-// affected rows are two-pointer merged, and the merchant side is derived the
-// same way from the delta sorted merchant-major.
+// batch of inserted edges and a batch of deleted edges, without re-sorting or
+// re-scattering the edges the previous graph already laid out. It is the
+// incremental half of the streaming snapshot path: a full rebuild pays
+// O(|E| log |E|) to sort the whole edge log, while ExtendDelta pays
+// O(|Δ| log |Δ|) to sort only the delta — inserts and deletes — and then
+// merges it into the previous CSR. Unaffected rows are block-copied, affected
+// rows are three-stream merged (previous row, sorted insert run, sorted
+// delete run), and the merchant side is derived the same way from the net
+// surviving changes sorted merchant-major. Rows whose edges all expire simply
+// emit nothing and drop out of the survivor bookkeeping; side sizes never
+// shrink (ids are dense and stable), so an emptied row is an explicit empty
+// row, exactly as a full rebuild over the surviving edge set lays it out.
 //
-// The output is byte-identical to what a full build over the union edge set
-// produces: merged rows stay strictly sorted and deduplicated, so the CSR is
-// the same canonical function of (numUsers, numMerchants, edge set) that
+// The output is byte-identical to what a full build over the resulting edge
+// set produces: merged rows stay strictly sorted and deduplicated, so the CSR
+// is the same canonical function of (numUsers, numMerchants, edge set) that
 // buildFromEdges computes.
 //
 // The builder itself is a reusable arena in the PR-2 sense: its sorted-delta
 // and survivor buffers are grown in place (internal/scratch) and recycled
-// across builds, so a warm Extend performs exactly the four output-array
+// across builds, so a warm build performs exactly the four output-array
 // allocations an immutable snapshot requires — allocs/op is independent of
-// both |E| and |Δ|. An ExtendBuilder must not be used from multiple
-// goroutines concurrently; the stream layer guards its builder with the
-// single-flight build lock.
+// |E|, of the insert count, and of the delete count. An ExtendBuilder must
+// not be used from multiple goroutines concurrently; the stream layer guards
+// its builder with the single-flight build lock.
 type ExtendBuilder struct {
-	ud []Edge // delta sorted user-major, deduped within the batch
-	vd []Edge // surviving delta (not already in prev) sorted merchant-major
+	ud   []Edge // inserts sorted user-major, deduped within the batch
+	dd   []Edge // deletes sorted user-major, deduped within the batch
+	vd   []Edge // net inserts (absent from prev) sorted merchant-major
+	vdel []Edge // net deletes (removed from prev) sorted merchant-major
 }
 
 // NewExtendBuilder returns an empty builder; buffers grow lazily.
@@ -69,59 +76,96 @@ func cmpMerchantMajor(a, b Edge) int {
 }
 
 // Extend returns the graph over prev's edges plus delta, with at least the
-// given side sizes (they are raised to cover prev and every delta id, so
-// passing the caller's tracked maxima is enough). Delta edges already present
-// in prev, or repeated within delta, are merged away exactly as a full build
-// would. prev is never modified; delta is read, not retained.
+// given side sizes. It is ExtendDelta with no deletions, kept for the
+// insert-only callers and tests that predate windowing.
 func (b *ExtendBuilder) Extend(prev *Graph, delta []Edge, numUsers, numMerchants int) *Graph {
+	return b.ExtendDelta(prev, delta, nil, numUsers, numMerchants)
+}
+
+// ExtendDelta returns the graph over (prev's edges \ deletes) ∪ inserts, with
+// at least the given side sizes (they are raised to cover prev and every
+// delta id, so passing the caller's tracked maxima is enough — note deleting
+// a node's last edge never shrinks a side).
+//
+// The semantics are set-algebraic, so every overlap is well defined: an
+// insert already present in prev (and not deleted) merges away, a delete
+// naming an edge absent from prev is ignored, and an edge appearing in both
+// lists ends up present — that is exactly the expire-then-reobserve lifecycle
+// the stream layer produces between two snapshots. prev is never modified;
+// inserts and deletes are read, not retained.
+func (b *ExtendBuilder) ExtendDelta(prev *Graph, inserts, deletes []Edge, numUsers, numMerchants int) *Graph {
 	if prev == nil {
 		prev = &Graph{}
 	}
 	numUsers = max(numUsers, prev.NumUsers())
 	numMerchants = max(numMerchants, prev.NumMerchants())
-	for _, e := range delta {
+	for _, e := range inserts {
 		numUsers = max(numUsers, int(e.U)+1)
 		numMerchants = max(numMerchants, int(e.V)+1)
 	}
 
-	ud := scratch.Grow(&b.ud, len(delta))
-	copy(ud, delta)
-	slices.SortFunc(ud, cmpUserMajor)
-	w := 0
-	for i, e := range ud {
-		if i == 0 || e != ud[i-1] {
-			ud[w] = e
-			w++
-		}
+	ud := sortDedupInto(&b.ud, inserts)
+	dd := sortDedupInto(&b.dd, deletes)
+	// A delete naming a row beyond prev cannot remove anything (deletes never
+	// grow a side); drop them here — sorted user-major they are a suffix — so
+	// the row-merge loop only ever visits rows that exist.
+	for len(dd) > 0 && int(dd[len(dd)-1].U) >= prev.NumUsers() {
+		dd = dd[:len(dd)-1]
 	}
-	ud = ud[:w]
 
-	uoff, uadj := b.mergeUserSide(prev, ud, numUsers)
+	uoff, uadj := b.mergeUserSide(prev, ud, dd, numUsers)
 
-	// The user-side merge recorded which delta edges were genuinely new
-	// (survivors); the merchant side merges exactly those, sorted
-	// merchant-major, so both CSR directions describe the same edge set.
-	vd := b.vd
-	slices.SortFunc(vd, cmpMerchantMajor)
-	moff, madj := mergeMerchantSide(prev, vd, numMerchants, len(uadj))
+	// The user-side merge recorded the net effect of the delta: inserts that
+	// were genuinely new (vd) and deletes that genuinely removed a prev edge
+	// (vdel). The merchant side applies exactly those, sorted merchant-major,
+	// so both CSR directions describe the same edge set.
+	slices.SortFunc(b.vd, cmpMerchantMajor)
+	slices.SortFunc(b.vdel, cmpMerchantMajor)
+	moff, madj := mergeMerchantSide(prev, b.vd, b.vdel, numMerchants, len(uadj))
 
 	return &Graph{userOff: uoff, userAdj: uadj, merchOff: moff, merchAdj: madj}
 }
 
+// sortDedupInto copies edges into the reusable buffer at *buf, sorts them
+// user-major and drops exact duplicates.
+func sortDedupInto(buf *[]Edge, edges []Edge) []Edge {
+	out := scratch.Grow(buf, len(edges))
+	copy(out, edges)
+	slices.SortFunc(out, cmpUserMajor)
+	w := 0
+	for i, e := range out {
+		if i == 0 || e != out[i-1] {
+			out[w] = e
+			w++
+		}
+	}
+	return out[:w]
+}
+
 // mergeUserSide lays out the user-major CSR: rows without delta edges are
-// block-copied from prev (offsets shifted by the running insertion count),
-// rows with delta edges are merged. Survivors are collected into b.vd.
-func (b *ExtendBuilder) mergeUserSide(prev *Graph, ud []Edge, numUsers int) ([]int, []uint32) {
+// block-copied from prev (offsets shifted by the running net insertion
+// count), rows with inserts or deletes are three-stream merged. Net inserts
+// are collected into b.vd, net deletes into b.vdel.
+func (b *ExtendBuilder) mergeUserSide(prev *Graph, ud, dd []Edge, numUsers int) ([]int, []uint32) {
 	prevNU := prev.NumUsers()
 	prevE := prev.NumEdges()
 	uoff := make([]int, numUsers+1)
 	uadj := make([]uint32, prevE+len(ud))
 	vd := b.vd[:0]
+	vdel := b.vdel[:0]
 
-	w := 0 // write cursor into uadj
-	u := 0 // next row to lay out
-	for di := 0; di < len(ud); {
-		au := int(ud[di].U) // next affected row
+	w := 0  // write cursor into uadj
+	u := 0  // next row to lay out
+	di := 0 // cursor into ud
+	ki := 0 // cursor into dd
+	for di < len(ud) || ki < len(dd) {
+		au := numUsers // next affected row
+		if di < len(ud) {
+			au = int(ud[di].U)
+		}
+		if ki < len(dd) && int(dd[ki].U) < au {
+			au = int(dd[ki].U)
+		}
 		if u < au && u < prevNU {
 			// Bulk-copy the untouched rows [u, min(au, prevNU)): one memcpy
 			// for the adjacency, shifted offsets for the rows.
@@ -139,11 +183,16 @@ func (b *ExtendBuilder) mergeUserSide(prev *Graph, ud []Edge, numUsers int) ([]i
 			uoff[u] = w
 		}
 
-		// Merge row au: prev's sorted row with the delta run for au.
+		// Merge row au: prev's sorted row against the insert and delete runs
+		// for au.
 		uoff[au] = w
 		dj := di
 		for dj < len(ud) && int(ud[dj].U) == au {
 			dj++
+		}
+		kj := ki
+		for kj < len(dd) && int(dd[kj].U) == au {
+			kj++
 		}
 		var row []uint32
 		if au < prevNU {
@@ -151,20 +200,52 @@ func (b *ExtendBuilder) mergeUserSide(prev *Graph, ud []Edge, numUsers int) ([]i
 		}
 		ri := 0
 		for ri < len(row) || di < dj {
+			var v uint32
 			switch {
 			case di == dj || (ri < len(row) && row[ri] < ud[di].V):
-				uadj[w] = row[ri]
+				// Next merchant comes from prev alone: keep it unless the
+				// delete run names it.
+				v = row[ri]
 				ri++
-				w++
+				for ki < kj && dd[ki].V < v {
+					ki++ // delete of an edge prev does not have: no-op
+				}
+				if ki < kj && dd[ki].V == v {
+					ki++
+					vdel = append(vdel, Edge{U: uint32(au), V: v})
+					continue
+				}
 			case ri < len(row) && row[ri] == ud[di].V:
-				di++ // already present: delta edge merges away
-			default:
-				uadj[w] = ud[di].V
-				vd = append(vd, ud[di])
+				// In prev and re-inserted: present either way. A matching
+				// delete is annihilated by the re-insert (expire + reobserve
+				// between two snapshots), so the row — and the net lists —
+				// carry no change for this edge.
+				v = row[ri]
+				ri++
 				di++
-				w++
+				for ki < kj && dd[ki].V < v {
+					ki++
+				}
+				if ki < kj && dd[ki].V == v {
+					ki++
+				}
+			default:
+				// Genuinely new edge. A delete naming it cannot refer to a
+				// prev edge, so the insert wins and the delete is a no-op.
+				v = ud[di].V
+				di++
+				for ki < kj && dd[ki].V < v {
+					ki++
+				}
+				if ki < kj && dd[ki].V == v {
+					ki++
+				}
+				vd = append(vd, Edge{U: uint32(au), V: v})
 			}
+			uadj[w] = v
+			w++
 		}
+		ki = kj // drain deletes past the row's last emitted merchant
 		u = au + 1
 	}
 	if u < prevNU { // untouched tail of prev
@@ -181,13 +262,16 @@ func (b *ExtendBuilder) mergeUserSide(prev *Graph, ud []Edge, numUsers int) ([]i
 		uoff[u] = w
 	}
 	b.vd = vd
+	b.vdel = vdel
 	return uoff, uadj[:w]
 }
 
 // mergeMerchantSide mirrors mergeUserSide for the merchant-major direction.
-// vd holds only edges absent from prev, so no equality case can arise; the
-// wantEdges cross-check catches any desync between the two directions.
-func mergeMerchantSide(prev *Graph, vd []Edge, numMerchants, wantEdges int) ([]int, []uint32) {
+// vd holds only edges absent from prev and vdel only edges present in prev
+// (the user-side merge computed the net effect), so neither list can collide
+// with the other; the wantEdges cross-check catches any desync between the
+// two directions.
+func mergeMerchantSide(prev *Graph, vd, vdel []Edge, numMerchants, wantEdges int) ([]int, []uint32) {
 	prevNM := prev.NumMerchants()
 	prevE := prev.NumEdges()
 	moff := make([]int, numMerchants+1)
@@ -195,8 +279,16 @@ func mergeMerchantSide(prev *Graph, vd []Edge, numMerchants, wantEdges int) ([]i
 
 	w := 0
 	v := 0
-	for di := 0; di < len(vd); {
-		av := int(vd[di].V)
+	di := 0
+	ki := 0
+	for di < len(vd) || ki < len(vdel) {
+		av := numMerchants
+		if di < len(vd) {
+			av = int(vd[di].V)
+		}
+		if ki < len(vdel) && int(vdel[ki].V) < av {
+			av = int(vdel[ki].V)
+		}
 		if v < av && v < prevNM {
 			end := min(av, prevNM)
 			lo, hi := prev.merchOff[v], prev.merchOff[end]
@@ -217,6 +309,10 @@ func mergeMerchantSide(prev *Graph, vd []Edge, numMerchants, wantEdges int) ([]i
 		for dj < len(vd) && int(vd[dj].V) == av {
 			dj++
 		}
+		kj := ki
+		for kj < len(vdel) && int(vdel[kj].V) == av {
+			kj++
+		}
 		var row []uint32
 		if av < prevNM {
 			row = prev.MerchantNeighbors(uint32(av))
@@ -224,14 +320,20 @@ func mergeMerchantSide(prev *Graph, vd []Edge, numMerchants, wantEdges int) ([]i
 		ri := 0
 		for ri < len(row) || di < dj {
 			if di == dj || (ri < len(row) && row[ri] < vd[di].U) {
-				madj[w] = row[ri]
+				u := row[ri]
 				ri++
+				if ki < kj && vdel[ki].U == u {
+					ki++ // net delete: this prev edge is gone
+					continue
+				}
+				madj[w] = u
 			} else {
 				madj[w] = vd[di].U
 				di++
 			}
 			w++
 		}
+		ki = kj
 		v = av + 1
 	}
 	if v < prevNM {
@@ -253,10 +355,10 @@ func mergeMerchantSide(prev *Graph, vd []Edge, numMerchants, wantEdges int) ([]i
 	return moff, madj[:w]
 }
 
-// Rebuild is the full-build fallback for when a delta is too large for Extend
-// to pay off: it constructs the graph from the complete edge list, exactly as
-// Builder.Build would. edges is sorted in place and not retained, so callers
-// may hand in a reusable scratch buffer.
+// Rebuild is the full-build fallback for when a delta is too large for the
+// merge to pay off: it constructs the graph from the complete edge list,
+// exactly as Builder.Build would. edges is sorted in place and not retained,
+// so callers may hand in a reusable scratch buffer.
 func (b *ExtendBuilder) Rebuild(numUsers, numMerchants int, edges []Edge) *Graph {
 	for _, e := range edges {
 		numUsers = max(numUsers, int(e.U)+1)

@@ -97,6 +97,151 @@ func TestExtendRaisesDeclaredSizes(t *testing.T) {
 	}
 }
 
+// applyDelta computes (edges \ deletes) ∪ inserts as a plain edge list — the
+// reference semantics ExtendDelta must reproduce.
+func applyDelta(edges, inserts, deletes []Edge) []Edge {
+	set := make(map[Edge]struct{}, len(edges)+len(inserts))
+	for _, e := range edges {
+		set[e] = struct{}{}
+	}
+	for _, e := range deletes {
+		delete(set, e)
+	}
+	for _, e := range inserts {
+		set[e] = struct{}{}
+	}
+	out := make([]Edge, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestExtendDeltaMatchesFullBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	base := make([]Edge, 0, 600)
+	for i := 0; i < 600; i++ {
+		base = append(base, Edge{U: uint32(rng.Intn(80)), V: uint32(rng.Intn(60))})
+	}
+	prev := mustFromEdges(t, 80, 60, base)
+
+	cases := []struct {
+		name             string
+		inserts, deletes []Edge
+	}{
+		{"delete one", nil, base[:1]},
+		{"delete run in one row", nil, base[10:30]},
+		{"delete absent edge is a no-op", nil, []Edge{{U: 79, V: 59}, {U: 500, V: 500}}},
+		{"delete whole row empties it", nil, rowEdges(prev, 0)},
+		{"delete and reinsert same edge", base[:5], base[:5]},
+		{"insert and delete disjoint", []Edge{{U: 90, V: 7}, {U: 0, V: 59}}, base[40:60]},
+		{"duplicate deletes", nil, append(append([]Edge(nil), base[:3]...), base[:3]...)},
+		{"everything at once", append([]Edge{{U: 200, V: 90}, {U: 0, V: 0}}, base[100:110]...),
+			append(append([]Edge(nil), base[:50]...), Edge{U: 300, V: 2})},
+		{"delete all edges", nil, base},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := NewExtendBuilder().ExtendDelta(prev, tc.inserts, tc.deletes, 0, 0)
+			if err := got.Validate(); err != nil {
+				t.Fatalf("delta-extended graph invalid: %v", err)
+			}
+			want := mustFromEdges(t, got.NumUsers(), got.NumMerchants(), applyDelta(base, tc.inserts, tc.deletes))
+			if !graphsIdentical(got, want) {
+				t.Fatalf("delta extend diverged from full build over the surviving set:\n got %v\nwant %v", got, want)
+			}
+		})
+	}
+}
+
+// rowEdges returns every edge of user u in g.
+func rowEdges(g *Graph, u uint32) []Edge {
+	out := make([]Edge, 0, g.UserDegree(u))
+	for _, v := range g.UserNeighbors(u) {
+		out = append(out, Edge{U: u, V: v})
+	}
+	return out
+}
+
+// TestExtendDeltaChained churns a graph through random insert+delete rounds
+// on one reused builder — the windowed streaming access pattern — checking
+// every intermediate CSR byte-for-byte against a from-scratch build of the
+// surviving edge set.
+func TestExtendDeltaChained(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	b := NewExtendBuilder()
+	live := map[Edge]struct{}{}
+	cur := NewExtendBuilder().Extend(nil, nil, 0, 0)
+	for round := 0; round < 40; round++ {
+		inserts := make([]Edge, 0, 40)
+		for i := 0; i < 1+rng.Intn(40); i++ {
+			inserts = append(inserts, Edge{U: uint32(rng.Intn(120)), V: uint32(rng.Intn(90))})
+		}
+		// Delete a random sample of the live set (plus the occasional absent
+		// edge, which must be ignored).
+		var deletes []Edge
+		for e := range live {
+			if rng.Intn(4) == 0 {
+				deletes = append(deletes, e)
+			}
+		}
+		if rng.Intn(2) == 0 {
+			deletes = append(deletes, Edge{U: 999, V: 999})
+		}
+		// The surviving-set model mirrors ExtendDelta's semantics: deletes
+		// first, inserts win.
+		for _, e := range deletes {
+			delete(live, e)
+		}
+		for _, e := range inserts {
+			live[e] = struct{}{}
+		}
+		cur = b.ExtendDelta(cur, inserts, deletes, 0, 0)
+		if err := cur.Validate(); err != nil {
+			t.Fatalf("round %d: invalid: %v", round, err)
+		}
+		surviving := make([]Edge, 0, len(live))
+		for e := range live {
+			surviving = append(surviving, e)
+		}
+		want := mustFromEdges(t, cur.NumUsers(), cur.NumMerchants(), surviving)
+		if !graphsIdentical(cur, want) {
+			t.Fatalf("round %d: delta extend diverged from full build", round)
+		}
+		if cur.NumEdges() != len(live) {
+			t.Fatalf("round %d: %d edges, model has %d", round, cur.NumEdges(), len(live))
+		}
+	}
+}
+
+// TestExtendDeltaAllocs pins that the deletion-aware path keeps the
+// allocation contract of the insert-only path: a warm builder's allocs/op is
+// independent of base graph size even when every build carries deletes.
+func TestExtendDeltaAllocs(t *testing.T) {
+	counts := make(map[int]float64)
+	for _, sz := range []int{1 << 12, 1 << 15} {
+		rng := rand.New(rand.NewSource(3))
+		edges := make([]Edge, 0, sz)
+		for i := 0; i < sz; i++ {
+			edges = append(edges, Edge{U: uint32(rng.Intn(sz / 8)), V: uint32(rng.Intn(sz / 8))})
+		}
+		prev := mustFromEdges(t, sz/8, sz/8, edges)
+		b := NewExtendBuilder()
+		inserts := []Edge{{U: 1, V: 2}, {U: 3, V: 4}}
+		deletes := []Edge{prev.EdgeAt(0), prev.EdgeAt(prev.NumEdges() - 1)}
+		b.ExtendDelta(prev, inserts, deletes, 0, 0) // warm the builder's scratch
+		counts[sz] = testing.AllocsPerRun(10, func() {
+			b.ExtendDelta(prev, inserts, deletes, 0, 0)
+		})
+	}
+	if counts[1<<12] != counts[1<<15] {
+		t.Errorf("allocs/op scales with |E|: %v", counts)
+	}
+	if counts[1<<15] > 8 {
+		t.Errorf("delta extend allocates %v times, want <= 8", counts[1<<15])
+	}
+}
+
 // TestExtendAllocsIndependentOfGraphSize pins the delta path's allocation
 // contract: for a fixed delta, a warm builder allocates the same number of
 // times no matter how large the base graph is (the four output arrays plus

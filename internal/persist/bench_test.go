@@ -30,11 +30,11 @@ func BenchmarkWALAppend(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer w.close()
-	b.SetBytes(int64(walFrameBytes + 12 + 8*batch))
+	b.SetBytes(int64(walFrameBytes + 16 + 8*batch)) // v2 edge-record framing
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := w.append(uint64(i+1), edges); err != nil {
+		if _, err := w.append(recEdges, uint64(i+1), edges, stream.WindowMark{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -50,10 +50,10 @@ func BenchmarkWALAppendFsync(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer w.close()
-	b.SetBytes(int64(walFrameBytes + 12 + 8*batch))
+	b.SetBytes(int64(walFrameBytes + 16 + 8*batch)) // v2 edge-record framing
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := w.append(uint64(i+1), edges); err != nil {
+		if _, err := w.append(recEdges, uint64(i+1), edges, stream.WindowMark{}); err != nil {
 			b.Fatal(err)
 		}
 	}

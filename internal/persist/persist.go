@@ -49,6 +49,8 @@ import (
 	"log"
 	"strings"
 	"time"
+
+	"ensemfdet/internal/stream"
 )
 
 // FsyncPolicy selects when the WAL is flushed to stable storage.
@@ -135,9 +137,16 @@ type RecoveryStats struct {
 	// SnapshotEdges is the edge count of that snapshot.
 	SnapshotEdges int `json:"snapshot_edges"`
 	// ReplayedRecords / ReplayedEdges count the WAL tail replayed on top of
-	// the snapshot (edges are pre-dedup batch sizes).
+	// the snapshot (edges are pre-dedup batch sizes; tombstone records count
+	// in both, their edges being the ones deleted).
 	ReplayedRecords int `json:"replayed_records"`
 	ReplayedEdges   int `json:"replayed_edges"`
+	// ReplayedTombstones counts the tombstone records among ReplayedRecords
+	// — retire passes reproduced as exact deletions.
+	ReplayedTombstones int `json:"replayed_tombstones"`
+	// WindowMark is the expiry watermark adopted from the snapshot (zero for
+	// format-1 snapshots and fresh directories).
+	WindowMark stream.WindowMark `json:"window_mark"`
 	// SkippedRecords counts WAL records at or below the snapshot watermark,
 	// already covered by the snapshot.
 	SkippedRecords int `json:"skipped_records"`
@@ -156,10 +165,16 @@ type Stats struct {
 	WALSegments int   `json:"wal_segments"`
 	WALBytes    int64 `json:"wal_bytes"`
 	// AppendedRecords/AppendedBytes/Fsyncs count WAL activity since this
-	// process opened the store.
-	AppendedRecords uint64 `json:"appended_records"`
-	AppendedBytes   uint64 `json:"appended_bytes"`
-	Fsyncs          uint64 `json:"fsyncs"`
+	// process opened the store; TombstoneRecords is the retire-record subset
+	// of AppendedRecords.
+	AppendedRecords  uint64 `json:"appended_records"`
+	AppendedBytes    uint64 `json:"appended_bytes"`
+	TombstoneRecords uint64 `json:"tombstone_records"`
+	Fsyncs           uint64 `json:"fsyncs"`
+	// Compactions counts sealed segments rewritten to drop snapshot-covered
+	// records; CompactedBytes is the disk space those rewrites reclaimed.
+	Compactions    uint64 `json:"compactions"`
+	CompactedBytes uint64 `json:"compacted_bytes"`
 	// SnapshotsWritten / SnapshotErrors count snapshot attempts since open.
 	SnapshotsWritten uint64 `json:"snapshots_written"`
 	SnapshotErrors   uint64 `json:"snapshot_errors"`

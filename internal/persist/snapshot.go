@@ -11,15 +11,28 @@ import (
 	"sort"
 
 	"ensemfdet/internal/bipartite"
+	"ensemfdet/internal/stream"
 )
 
-// Snapshot file layout, little-endian:
+// Snapshot file layout, little-endian.
+//
+// Format 2 (written by this version):
 //
 //	[8]byte  magic "EFDSNAP1"
-//	uint32   format version
+//	uint32   format version (2)
 //	uint64   graph version
-//	uint32   crc32c over the 20 header bytes above
+//	uint64   window watermark: version  (stream.WindowMark.Version)
+//	int64    window watermark: wall     (stream.WindowMark.Wall, unix ns)
+//	int64    written-at wall time (unix ns; recovery stamps restored edges)
+//	uint32   crc32c over the 44 header bytes above
 //	[]byte   bipartite CSR codec blob (self-checksummed)
+//
+// Format 1 (legacy, pre-windowing) lacks the three watermark/time fields;
+// the reader accepts both, reporting a zero watermark for format 1. The
+// watermark is captured atomically with the CSR cut (stream.SnapshotWithMark),
+// so a recovered graph adopts expiry progress consistent with the recovered
+// edge set — combined with WAL tombstone replay for post-snapshot retires,
+// no restart can resurrect an expired edge.
 //
 // Files are written to a .tmp sibling, synced, renamed into place, and the
 // directory synced, so a crash mid-write leaves either the old set of
@@ -28,15 +41,18 @@ import (
 
 var snapMagic = [8]byte{'E', 'F', 'D', 'S', 'N', 'A', 'P', '1'}
 
-const snapFormatVersion = uint32(1)
+const (
+	snapFormatV1 = uint32(1)
+	snapFormatV2 = uint32(2)
+)
 
 func snapPath(dir string, version uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("snap-%016x.snap", version))
 }
 
-// writeSnapshotFile durably writes g at the given graph version and removes
-// older snapshots. It returns the final path.
-func writeSnapshotFile(dir string, g *bipartite.Graph, version uint64) (string, error) {
+// writeSnapshotFile durably writes g at the given graph version with its
+// window watermark and removes older snapshots. It returns the final path.
+func writeSnapshotFile(dir string, g *bipartite.Graph, version uint64, mark stream.WindowMark, writtenAt int64) (string, error) {
 	path := snapPath(dir, version)
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
@@ -46,10 +62,13 @@ func writeSnapshotFile(dir string, g *bipartite.Graph, version uint64) (string, 
 	defer os.Remove(tmp) // no-op after the rename succeeds
 
 	bw := bufio.NewWriterSize(f, 1<<20)
-	var hdr [20]byte
+	var hdr [44]byte
 	copy(hdr[:8], snapMagic[:])
-	binary.LittleEndian.PutUint32(hdr[8:], snapFormatVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], snapFormatV2)
 	binary.LittleEndian.PutUint64(hdr[12:], version)
+	binary.LittleEndian.PutUint64(hdr[20:], mark.Version)
+	binary.LittleEndian.PutUint64(hdr[28:], uint64(mark.Wall))
+	binary.LittleEndian.PutUint64(hdr[36:], uint64(writtenAt))
 	if _, err := bw.Write(hdr[:]); err == nil {
 		var crc [4]byte
 		binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(hdr[:], castagnoli))
@@ -87,34 +106,52 @@ func writeSnapshotFile(dir string, g *bipartite.Graph, version uint64) (string, 
 	return path, nil
 }
 
-// readSnapshotFile decodes and validates one snapshot file.
-func readSnapshotFile(path string) (*bipartite.Graph, uint64, error) {
+// readSnapshotFile decodes and validates one snapshot file of either format.
+// Format-1 files report a zero watermark and written-at time.
+func readSnapshotFile(path string) (g *bipartite.Graph, version uint64, mark stream.WindowMark, writtenAt int64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, 0, fmt.Errorf("persist: opening snapshot: %w", err)
+		return nil, 0, mark, 0, fmt.Errorf("persist: opening snapshot: %w", err)
 	}
 	defer f.Close()
 	br := bufio.NewReaderSize(f, 1<<20)
 
-	var hdr [24]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, 0, fmt.Errorf("persist: reading snapshot header: %w", err)
+	var pre [12]byte // magic + format: enough to select the header shape
+	if _, err := io.ReadFull(br, pre[:]); err != nil {
+		return nil, 0, mark, 0, fmt.Errorf("persist: reading snapshot header: %w", err)
 	}
-	if [8]byte(hdr[:8]) != snapMagic {
-		return nil, 0, fmt.Errorf("persist: snapshot %s: bad magic", filepath.Base(path))
+	if [8]byte(pre[:8]) != snapMagic {
+		return nil, 0, mark, 0, fmt.Errorf("persist: snapshot %s: bad magic", filepath.Base(path))
 	}
-	if crc32.Checksum(hdr[:20], castagnoli) != binary.LittleEndian.Uint32(hdr[20:]) {
-		return nil, 0, fmt.Errorf("persist: snapshot %s: header checksum mismatch", filepath.Base(path))
+	format := binary.LittleEndian.Uint32(pre[8:])
+	var hdrLen int
+	switch format {
+	case snapFormatV1:
+		hdrLen = 20 // magic + format + graph version
+	case snapFormatV2:
+		hdrLen = 44 // + watermark version, watermark wall, written-at
+	default:
+		return nil, 0, mark, 0, fmt.Errorf("persist: snapshot %s: unsupported format %d", filepath.Base(path), format)
 	}
-	if format := binary.LittleEndian.Uint32(hdr[8:]); format != snapFormatVersion {
-		return nil, 0, fmt.Errorf("persist: snapshot %s: unsupported format %d", filepath.Base(path), format)
+	hdr := make([]byte, hdrLen+4)
+	copy(hdr, pre[:])
+	if _, err := io.ReadFull(br, hdr[len(pre):]); err != nil {
+		return nil, 0, mark, 0, fmt.Errorf("persist: reading snapshot header: %w", err)
 	}
-	version := binary.LittleEndian.Uint64(hdr[12:])
-	g, err := bipartite.ReadCSR(br)
+	if crc32.Checksum(hdr[:hdrLen], castagnoli) != binary.LittleEndian.Uint32(hdr[hdrLen:]) {
+		return nil, 0, mark, 0, fmt.Errorf("persist: snapshot %s: header checksum mismatch", filepath.Base(path))
+	}
+	version = binary.LittleEndian.Uint64(hdr[12:])
+	if format == snapFormatV2 {
+		mark.Version = binary.LittleEndian.Uint64(hdr[20:])
+		mark.Wall = int64(binary.LittleEndian.Uint64(hdr[28:]))
+		writtenAt = int64(binary.LittleEndian.Uint64(hdr[36:]))
+	}
+	g, err = bipartite.ReadCSR(br)
 	if err != nil {
-		return nil, 0, fmt.Errorf("persist: snapshot %s: %w", filepath.Base(path), err)
+		return nil, 0, mark, 0, fmt.Errorf("persist: snapshot %s: %w", filepath.Base(path), err)
 	}
-	return g, version, nil
+	return g, version, mark, writtenAt, nil
 }
 
 // snapFile names one on-disk snapshot.

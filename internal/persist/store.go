@@ -15,8 +15,16 @@ import (
 
 // Source is what the store snapshots: anything handing out immutable
 // versioned CSR views. *stream.Graph is the production implementation.
+// Sources that additionally implement SnapshotWithMark (the stream graph
+// does) get their window watermark persisted in the snapshot header, so
+// recovery restores expiry progress along with the edges.
 type Source interface {
 	Snapshot() (*bipartite.Graph, uint64)
+}
+
+// markedSource is the optional windowing extension of Source.
+type markedSource interface {
+	SnapshotWithMark() (*bipartite.Graph, uint64, stream.WindowMark)
 }
 
 // Store is the durability engine: it implements stream.Journal (the WAL
@@ -106,9 +114,11 @@ func (s *Store) Recover(g *stream.Graph) (RecoveryStats, error) {
 	// graph silently missing acknowledged batches, the exact loss the sealed
 	// -segment scan refuses.
 	var snap *bipartite.Graph
+	var snapMark stream.WindowMark
+	var snapWrittenAt int64
 	var maxBadSnap uint64
 	for _, sf := range listSnapshots(filepath.Join(s.dir, "snap")) {
-		loaded, version, err := readSnapshotFile(sf.path)
+		loaded, version, mark, writtenAt, err := readSnapshotFile(sf.path)
 		if err != nil {
 			s.logf("persist: skipping unusable snapshot %s: %v", filepath.Base(sf.path), err)
 			if sf.version > maxBadSnap {
@@ -117,12 +127,19 @@ func (s *Store) Recover(g *stream.Graph) (RecoveryStats, error) {
 			continue
 		}
 		snap, rec.SnapshotVersion, rec.SnapshotEdges = loaded, version, loaded.NumEdges()
+		snapMark, snapWrittenAt = mark, writtenAt
 		break
 	}
 	if snap != nil {
-		if err := g.Restore(snap, rec.SnapshotVersion); err != nil {
+		// RestoreAt adopts the persisted window watermark and stamps the
+		// restored edges as ingested when the snapshot was written — the
+		// stamps' original batch granularity is not persisted, so the window
+		// treats recovered history as uniformly snapshot-aged (it can retain
+		// longer than the live run would, never expire earlier).
+		if err := g.RestoreAt(snap, rec.SnapshotVersion, snapMark, snapWrittenAt); err != nil {
 			return rec, err
 		}
+		rec.WindowMark = snapMark
 		s.snapVersion.Store(rec.SnapshotVersion)
 	}
 
@@ -161,15 +178,53 @@ func (s *Store) Recover(g *stream.Graph) (RecoveryStats, error) {
 	}
 
 	var tailBytes int64
-	for _, r := range replay {
+	for i := 0; i < len(replay); i++ {
+		r := replay[i]
 		if r.version <= rec.SnapshotVersion {
 			rec.SkippedRecords++
 			continue
 		}
+		if r.kind == recTombstone {
+			// Replay the retirement as an exact deletion: the tombstone
+			// names precisely the edges the live pass removed, so no window
+			// policy is re-evaluated (and none need be configured) at boot.
+			// The record's watermark restores expiry progress reached after
+			// the snapshot was cut. Consecutive tombstones (common when a
+			// fast retire ticker ran between snapshots) coalesce into one
+			// Remove: each Remove scans every live shard entry, so one pass
+			// over the union keeps replay O(records + live) instead of
+			// O(tombstone records × live). Deletion sets of distinct
+			// versions are disjoint (an edge must be re-appended before it
+			// can be removed again), so the union removes the same edges,
+			// and the final version/mark pins below reproduce the last
+			// record's state — intermediate versions are unobservable at
+			// boot.
+			edges := r.edges
+			mark := r.mark
+			rec.ReplayedTombstones++
+			rec.ReplayedRecords++
+			rec.ReplayedEdges += len(r.edges)
+			tailBytes += r.frameSize()
+			for i+1 < len(replay) && replay[i+1].kind == recTombstone {
+				i++
+				next := replay[i]
+				edges = append(edges[:len(edges):len(edges)], next.edges...)
+				mark = next.mark
+				r = next
+				rec.ReplayedTombstones++
+				rec.ReplayedRecords++
+				rec.ReplayedEdges += len(next.edges)
+				tailBytes += next.frameSize()
+			}
+			g.Remove(edges)
+			g.AdvanceMarkTo(mark)
+			g.AdvanceVersionTo(r.version)
+			continue
+		}
 		g.Append(r.edges)
-		// Pin the batch to the version it committed as live. Normally the
-		// append's own bump already matches; after an unhealed version hole
-		// (see the package doc) this keeps the surviving acknowledged
+		// Pin the record to the version it committed as live. Normally the
+		// operation's own bump already matches; after an unhealed version
+		// hole (see the package doc) this keeps the surviving acknowledged
 		// versions from being renumbered.
 		g.AdvanceVersionTo(r.version)
 		rec.ReplayedRecords++
@@ -178,6 +233,7 @@ func (s *Store) Recover(g *stream.Graph) (RecoveryStats, error) {
 	}
 	s.bytesSinceSnap.Store(tailBytes)
 	rec.Version = g.Version()
+	rec.WindowMark = g.WindowStats().Mark // snapshot mark + replayed tombstone marks
 	s.recovered = rec
 	return rec, nil
 }
@@ -204,6 +260,21 @@ func (s *Store) SetSource(src Source) {
 // After healing, client retries deduplicate against the snapshotted edges,
 // so the "retry on 500" contract stays truthful.
 func (s *Store) AppendEdges(version uint64, edges []bipartite.Edge) error {
+	return s.journalRecord(recEdges, version, edges, stream.WindowMark{})
+}
+
+// RetireEdges implements the tombstone half of stream.Journal: a retire pass
+// (or explicit Remove) that deleted edges is framed as a tombstone record at
+// its version — carrying the post-pass window watermark, so replay restores
+// expiry progress exactly — under the same fail-stop contract as
+// AppendEdges: a WAL failure degrades the store until a covering snapshot
+// (which captures the post-retire graph, unjournaled retirements included)
+// heals the gap.
+func (s *Store) RetireEdges(version uint64, edges []bipartite.Edge, mark stream.WindowMark) error {
+	return s.journalRecord(recTombstone, version, edges, mark)
+}
+
+func (s *Store) journalRecord(kind uint32, version uint64, edges []bipartite.Edge, mark stream.WindowMark) error {
 	if s.closed.Load() {
 		return fmt.Errorf("persist: store is closed")
 	}
@@ -228,7 +299,7 @@ func (s *Store) AppendEdges(version uint64, edges []bipartite.Edge) error {
 		s.kickSnapshot()
 		return fmt.Errorf("persist: WAL degraded since a failure at version ≤ %d: batch %d rejected until a covering snapshot lands", gap, version)
 	}
-	n, err := s.wal.append(version, edges)
+	n, err := s.wal.append(kind, version, edges, mark)
 	if err != nil {
 		raiseGap(&s.walGap, version)
 		s.kickSnapshot() // try to self-heal without waiting for the size trigger
@@ -283,12 +354,19 @@ func (s *Store) Snapshot() error {
 	// so exactly `pre` is subtracted on success — bytes racing in during the
 	// write keep counting toward the next trigger.
 	pre := s.bytesSinceSnap.Load()
-	g, version := box.src.Snapshot()
+	var g *bipartite.Graph
+	var version uint64
+	var mark stream.WindowMark
+	if ms, ok := box.src.(markedSource); ok {
+		g, version, mark = ms.SnapshotWithMark()
+	} else {
+		g, version = box.src.Snapshot()
+	}
 	if version <= s.snapVersion.Load() {
 		return nil
 	}
 	start := time.Now()
-	if _, err := writeSnapshotFile(filepath.Join(s.dir, "snap"), g, version); err != nil {
+	if _, err := writeSnapshotFile(filepath.Join(s.dir, "snap"), g, version, mark, time.Now().UnixNano()); err != nil {
 		s.snapErrs.Add(1)
 		return err
 	}
@@ -345,14 +423,17 @@ func (s *Store) Close() error {
 // Stats returns current durability counters.
 func (s *Store) Stats() Stats {
 	segs, bytes := s.wal.diskStats()
-	records, appended, fsyncs := s.wal.counters()
+	records, appended, tombstones, fsyncs, compactions, compacted := s.wal.counters()
 	return Stats{
 		FsyncPolicy:        s.opts.Fsync.String(),
 		WALSegments:        segs,
 		WALBytes:           bytes,
 		AppendedRecords:    records,
 		AppendedBytes:      appended,
+		TombstoneRecords:   tombstones,
 		Fsyncs:             fsyncs,
+		Compactions:        compactions,
+		CompactedBytes:     compacted,
 		SnapshotsWritten:   s.snapsWritten.Load(),
 		SnapshotErrors:     s.snapErrs.Load(),
 		SnapshotVersion:    s.snapVersion.Load(),

@@ -324,6 +324,10 @@ func TestJournalFailStopAndSnapshotHeal(t *testing.T) {
 	if st.Stats().WALGapVersion != 0 {
 		t.Fatal("gap did not clear after a covering snapshot")
 	}
+	// The rejected appends above each kicked a background heal snapshot;
+	// drain them before simulating the crash, or a late goroutine races the
+	// test teardown (and the recovery comparison below).
+	st.wg.Wait()
 
 	// Crash now: recovery = snapshot(v4) + WAL(v5) must equal live exactly.
 	live, _ := g.Snapshot()
@@ -429,10 +433,10 @@ func TestReplayPreservesVersionsAcrossHole(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Version 2's record is missing: its journal write was torn mid-crash.
-	if _, err := w.append(1, edgesN(0, 2)); err != nil {
+	if _, err := w.append(recEdges, 1, edgesN(0, 2), stream.WindowMark{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := w.append(3, edgesN(100, 2)); err != nil {
+	if _, err := w.append(recEdges, 3, edgesN(100, 2), stream.WindowMark{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.close(); err != nil {
@@ -461,7 +465,7 @@ func TestTaintedSegmentSealsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := w.append(1, edgesN(0, 2)); err != nil {
+	if _, err := w.append(recEdges, 1, edgesN(0, 2), stream.WindowMark{}); err != nil {
 		t.Fatal(err)
 	}
 	// Simulate a failed record write: partial garbage lands after the good
@@ -473,7 +477,7 @@ func TestTaintedSegmentSealsClean(t *testing.T) {
 	if err := w.truncateTo(0); err != nil { // rotates the tainted segment
 		t.Fatal(err)
 	}
-	if _, err := w.append(2, edgesN(10, 2)); err != nil {
+	if _, err := w.append(recEdges, 2, edgesN(10, 2), stream.WindowMark{}); err != nil {
 		t.Fatalf("append after tainted rotation: %v", err)
 	}
 	if err := w.close(); err != nil {

@@ -12,9 +12,18 @@ import (
 	"sync"
 
 	"ensemfdet/internal/bipartite"
+	"ensemfdet/internal/stream"
 )
 
-// WAL record framing, little-endian:
+// WAL on-disk layout, little-endian.
+//
+// Format v2 segments open with an 8-byte magic ("EFDWAL2\0"); v1 segments
+// (written before windowing) have no header and start directly with a
+// record. The scanner format-detects per segment, so a directory may mix v1
+// and v2 segments freely — recovery replays both — while every segment
+// written by this version (including compaction rewrites) is v2.
+//
+// v1 record framing:
 //
 //	uint32 payloadLen
 //	uint32 crc32c(payload)
@@ -23,29 +32,67 @@ import (
 //	  uint32 count     edges in the batch (pre-dedup)
 //	  count × (uint32 u, uint32 v)
 //
+// v2 record framing (same frame, payload gains a kind; tombstones also
+// carry the window watermark their retire pass reached, so replay restores
+// expiry progress exactly):
+//
+//	uint32 payloadLen
+//	uint32 crc32c(payload)
+//	payload:
+//	  uint64 version
+//	  uint32 kind      1 = edge batch, 2 = tombstone (edges retired/removed)
+//	  uint32 count
+//	  [kind 2 only] uint64 watermark version, int64 watermark wall (unix ns)
+//	  count × (uint32 u, uint32 v)
+//
 // Segments are named seg-<16-hex-digit index>.wal; the index only orders
 // them. A segment is sealed by rotation (synced, then never written again),
 // so only the final segment can legitimately end mid-record after a crash.
+// A resumed v1 final segment is sealed immediately at open and a fresh v2
+// segment becomes active, so records of both formats never share a file.
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+var walMagic = [8]byte{'E', 'F', 'D', 'W', 'A', 'L', '2', 0}
+
 const walFrameBytes = 8 // length + checksum prefix
+
+// Record kinds of the v2 format. v1 records decode as recEdges.
+const (
+	recEdges     = uint32(1)
+	recTombstone = uint32(2)
+)
 
 // walRecord is one decoded log record.
 type walRecord struct {
 	version uint64
+	kind    uint32
+	mark    stream.WindowMark // tombstones only
 	edges   []bipartite.Edge
+	size    int64 // on-disk framed size, format-dependent
 }
 
-func (r walRecord) frameSize() int64 { return walFrameBytes + 12 + 8*int64(len(r.edges)) }
+func (r walRecord) frameSize() int64 { return r.size }
 
 // segMeta describes one on-disk segment.
 type segMeta struct {
 	index   uint64
 	path    string
 	bytes   int64
+	minVer  uint64 // lowest record version in the segment (0 = none)
 	maxVer  uint64 // highest record version in the segment (0 = none)
 	records int
+	v1      bool // legacy headerless format
+}
+
+func (m *segMeta) note(version uint64) {
+	if m.records == 0 || version < m.minVer {
+		m.minVer = version
+	}
+	if version > m.maxVer {
+		m.maxVer = version
+	}
+	m.records++
 }
 
 // wal is the segmented log writer. All mutating methods serialize on mu;
@@ -72,9 +119,12 @@ type wal struct {
 	// snapshot covers it, deleted).
 	tainted bool
 
-	appendedRecords uint64
-	appendedBytes   uint64
-	fsyncs          uint64
+	appendedRecords  uint64
+	appendedBytes    uint64
+	tombstoneRecords uint64
+	fsyncs           uint64
+	compactions      uint64
+	compactedBytes   uint64 // bytes reclaimed by segment compaction
 }
 
 func segPath(dir string, index uint64) string {
@@ -84,10 +134,15 @@ func segPath(dir string, index uint64) string {
 // openWAL scans dir, truncating a torn tail in the final segment, and
 // returns the writer positioned to append plus every surviving record (the
 // store replays the ones past the snapshot watermark). torn reports whether
-// a tail truncation happened.
+// a tail truncation happened. Leftover compaction temporaries are removed.
 func openWAL(dir string, segBytes int64, fsync bool, logf func(string, ...any)) (w *wal, records []walRecord, torn bool, err error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, false, fmt.Errorf("persist: creating WAL dir: %w", err)
+	}
+	if tmps, err := filepath.Glob(filepath.Join(dir, "seg-*.wal.tmp")); err == nil {
+		for _, tmp := range tmps {
+			os.Remove(tmp) // a compaction the crash interrupted; the original is intact
+		}
 	}
 	names, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
 	if err != nil {
@@ -113,6 +168,13 @@ func openWAL(dir string, segBytes int64, fsync bool, logf func(string, ...any)) 
 	if len(names) == 0 {
 		w.active = segMeta{index: 1, path: segPath(dir, 1)}
 	}
+	if w.active.v1 && w.active.bytes > 0 {
+		// Never append v2 records into a legacy segment: seal it as-is (its
+		// torn tail, if any, was just truncated) and start a fresh v2
+		// segment, so each file holds exactly one format.
+		w.sealed = append(w.sealed, w.active)
+		w.active = segMeta{index: w.active.index + 1, path: segPath(dir, w.active.index+1)}
+	}
 	// Resume appending into the (possibly just-truncated) final segment.
 	w.f, err = os.OpenFile(w.active.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -121,11 +183,12 @@ func openWAL(dir string, segBytes int64, fsync bool, logf func(string, ...any)) 
 	return w, records, torn, nil
 }
 
-// scanSegment decodes one segment. A record that is truncated, fails its
-// checksum, or does not decode marks the segment torn from that offset: in
-// the final segment the file is truncated there (crash mid-write — the batch
-// was never acknowledged); in a sealed segment it is a hard error, since
-// dropping it would lose acknowledged batches.
+// scanSegment decodes one segment, detecting its format from the leading
+// magic. A record that is truncated, fails its checksum, or does not decode
+// marks the segment torn from that offset: in the final segment the file is
+// truncated there (crash mid-write — the batch was never acknowledged); in a
+// sealed segment it is a hard error, since dropping it would lose
+// acknowledged batches.
 func scanSegment(path string, last bool, logf func(string, ...any)) ([]walRecord, segMeta, bool, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -137,18 +200,27 @@ func scanSegment(path string, last bool, logf func(string, ...any)) ([]walRecord
 		return nil, segMeta{}, false, fmt.Errorf("persist: unparseable WAL segment name %q", filepath.Base(path))
 	}
 
-	var records []walRecord
 	off := 0
+	decode := decodeRecordV2
+	if len(data) >= len(walMagic) && [8]byte(data[:8]) == walMagic {
+		off = len(walMagic)
+	} else {
+		// No magic: a legacy v1 segment, or a fresh/torn-at-the-header v2
+		// file. Both scan with the v1 decoder (which finds no records in the
+		// latter) and are treated as v1 — openWAL then retires a non-empty
+		// one instead of appending to it.
+		meta.v1 = true
+		decode = decodeRecordV1
+	}
+
+	var records []walRecord
 	for off < len(data) {
-		rec, n, ok := decodeRecord(data[off:])
+		rec, n, ok := decode(data[off:])
 		if !ok {
 			break
 		}
 		records = append(records, rec)
-		meta.records++
-		if rec.version > meta.maxVer {
-			meta.maxVer = rec.version
-		}
+		meta.note(rec.version)
 		off += n
 	}
 	meta.bytes = int64(off)
@@ -167,9 +239,10 @@ func scanSegment(path string, last bool, logf func(string, ...any)) ([]walRecord
 	return records, meta, true, nil
 }
 
-// decodeRecord parses one framed record from the head of data, reporting its
-// total size. ok is false for a torn, checksum-failing, or malformed record.
-func decodeRecord(data []byte) (walRecord, int, bool) {
+// decodeRecordV1 parses one legacy framed record (edge batches only) from
+// the head of data, reporting its total size. ok is false for a torn,
+// checksum-failing, or malformed record.
+func decodeRecordV1(data []byte) (walRecord, int, bool) {
 	if len(data) < walFrameBytes {
 		return walRecord{}, 0, false
 	}
@@ -182,28 +255,101 @@ func decodeRecord(data []byte) (walRecord, int, bool) {
 	if crc32.Checksum(payload, castagnoli) != sum {
 		return walRecord{}, 0, false
 	}
-	rec := walRecord{version: binary.LittleEndian.Uint64(payload)}
+	rec := walRecord{version: binary.LittleEndian.Uint64(payload), kind: recEdges}
 	count := int(binary.LittleEndian.Uint32(payload[8:]))
 	if 12+8*count != n || rec.version == 0 {
 		return walRecord{}, 0, false
 	}
-	rec.edges = make([]bipartite.Edge, count)
-	for i := range rec.edges {
-		rec.edges[i] = bipartite.Edge{
-			U: binary.LittleEndian.Uint32(payload[12+8*i:]),
-			V: binary.LittleEndian.Uint32(payload[16+8*i:]),
-		}
-	}
+	rec.edges = decodeEdges(payload[12:], count)
+	rec.size = int64(walFrameBytes + n)
 	return rec, walFrameBytes + n, true
 }
 
-// append encodes and writes one record, rotating the segment first when it
-// is full, and syncs according to policy. The returned size is the framed
-// record's on-disk footprint.
-func (w *wal) append(version uint64, edges []bipartite.Edge) (int64, error) {
-	payloadLen := 12 + 8*len(edges)
-	total := walFrameBytes + payloadLen
+// decodeRecordV2 parses one v2 framed record (edge batch or tombstone).
+func decodeRecordV2(data []byte) (walRecord, int, bool) {
+	if len(data) < walFrameBytes {
+		return walRecord{}, 0, false
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	sum := binary.LittleEndian.Uint32(data[4:])
+	if n < 16 || walFrameBytes+n > len(data) {
+		return walRecord{}, 0, false
+	}
+	payload := data[walFrameBytes : walFrameBytes+n]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return walRecord{}, 0, false
+	}
+	rec := walRecord{
+		version: binary.LittleEndian.Uint64(payload),
+		kind:    binary.LittleEndian.Uint32(payload[8:]),
+	}
+	count := int(binary.LittleEndian.Uint32(payload[12:]))
+	body := 16
+	if rec.kind == recTombstone {
+		if n < 32 {
+			return walRecord{}, 0, false
+		}
+		rec.mark.Version = binary.LittleEndian.Uint64(payload[16:])
+		rec.mark.Wall = int64(binary.LittleEndian.Uint64(payload[24:]))
+		body = 32
+	} else if rec.kind != recEdges {
+		return walRecord{}, 0, false
+	}
+	if body+8*count != n || rec.version == 0 {
+		return walRecord{}, 0, false
+	}
+	rec.edges = decodeEdges(payload[body:], count)
+	rec.size = int64(walFrameBytes + n)
+	return rec, walFrameBytes + n, true
+}
 
+func decodeEdges(data []byte, count int) []bipartite.Edge {
+	edges := make([]bipartite.Edge, count)
+	for i := range edges {
+		edges[i] = bipartite.Edge{
+			U: binary.LittleEndian.Uint32(data[8*i:]),
+			V: binary.LittleEndian.Uint32(data[8*i+4:]),
+		}
+	}
+	return edges
+}
+
+// encodeRecord frames one v2 record into buf (grown as needed), returning
+// the framed bytes. Tombstones carry the watermark after the version/kind
+// prefix.
+func encodeRecord(buf *[]byte, kind uint32, version uint64, edges []bipartite.Edge, mark stream.WindowMark) []byte {
+	body := 16
+	if kind == recTombstone {
+		body = 32
+	}
+	payloadLen := body + 8*len(edges)
+	total := walFrameBytes + payloadLen
+	if cap(*buf) < total {
+		*buf = make([]byte, total)
+	}
+	b := (*buf)[:total]
+	binary.LittleEndian.PutUint32(b, uint32(payloadLen))
+	payload := b[walFrameBytes:]
+	binary.LittleEndian.PutUint64(payload, version)
+	binary.LittleEndian.PutUint32(payload[8:], kind)
+	binary.LittleEndian.PutUint32(payload[12:], uint32(len(edges)))
+	if kind == recTombstone {
+		binary.LittleEndian.PutUint64(payload[16:], mark.Version)
+		binary.LittleEndian.PutUint64(payload[24:], uint64(mark.Wall))
+	}
+	for i, e := range edges {
+		binary.LittleEndian.PutUint32(payload[body+8*i:], e.U)
+		binary.LittleEndian.PutUint32(payload[body+8*i+4:], e.V)
+	}
+	binary.LittleEndian.PutUint32(b[4:], crc32.Checksum(payload, castagnoli))
+	return b
+}
+
+// append encodes and writes one record, rotating the segment first when it
+// is full, and syncs according to policy. A fresh segment gets its format
+// header before the first record. The returned size is the framed record's
+// on-disk footprint (header bytes excluded).
+func (w *wal) append(kind uint32, version uint64, edges []bipartite.Edge, mark stream.WindowMark) (int64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
@@ -212,24 +358,20 @@ func (w *wal) append(version uint64, edges []bipartite.Edge) (int64, error) {
 	if w.tainted {
 		return 0, fmt.Errorf("persist: WAL segment tainted by an earlier write failure")
 	}
-	if w.active.bytes > 0 && w.active.bytes+int64(total) > w.segBytes {
+	buf := encodeRecord(&w.buf, kind, version, edges, mark)
+	w.buf = buf
+	if w.active.bytes > 0 && w.active.bytes+int64(len(buf)) > w.segBytes {
 		if err := w.rotateLocked(); err != nil {
 			return 0, err
 		}
 	}
-	if cap(w.buf) < total {
-		w.buf = make([]byte, total)
+	if w.active.bytes == 0 {
+		if _, err := w.f.Write(walMagic[:]); err != nil {
+			w.tainted = true
+			return 0, fmt.Errorf("persist: WAL header write: %w", err)
+		}
+		w.active.bytes = int64(len(walMagic))
 	}
-	buf := w.buf[:total]
-	binary.LittleEndian.PutUint32(buf, uint32(payloadLen))
-	payload := buf[walFrameBytes:]
-	binary.LittleEndian.PutUint64(payload, version)
-	binary.LittleEndian.PutUint32(payload[8:], uint32(len(edges)))
-	for i, e := range edges {
-		binary.LittleEndian.PutUint32(payload[12+8*i:], e.U)
-		binary.LittleEndian.PutUint32(payload[16+8*i:], e.V)
-	}
-	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, castagnoli))
 
 	if _, err := w.f.Write(buf); err != nil {
 		w.tainted = true // a partial frame may be on disk
@@ -242,14 +384,14 @@ func (w *wal) append(version uint64, edges []bipartite.Edge) (int64, error) {
 		}
 		w.fsyncs++
 	}
-	w.active.bytes += int64(total)
-	w.active.records++
-	if version > w.active.maxVer {
-		w.active.maxVer = version
-	}
+	w.active.bytes += int64(len(buf))
+	w.active.note(version)
 	w.appendedRecords++
-	w.appendedBytes += uint64(total)
-	return int64(total), nil
+	w.appendedBytes += uint64(len(buf))
+	if kind == recTombstone {
+		w.tombstoneRecords++
+	}
+	return int64(len(buf)), nil
 }
 
 // rotateLocked seals the active segment (sync + close) and opens the next.
@@ -291,10 +433,12 @@ func (w *wal) rotateLocked() error {
 	return nil
 }
 
-// truncateTo seals the active segment (if it holds records) and deletes
-// every sealed segment whose records are all at or below version — they are
-// fully covered by the snapshot at that version. Segments containing any
-// newer record are kept whole; replay skips their covered records instead.
+// truncateTo seals the active segment (if it holds records) and trims the
+// log to the snapshot at the given version: sealed segments whose records
+// are all at or below it are deleted outright, and surviving sealed
+// segments that straddle the watermark are compacted — rewritten in place
+// (tmp + rename) dropping the covered records, so a segment pinned by one
+// fresh record no longer drags megabytes of snapshotted history behind it.
 func (w *wal) truncateTo(version uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -310,7 +454,8 @@ func (w *wal) truncateTo(version uint64) error {
 	// alias the backing array, and bailing out mid-loop on a remove error
 	// would leave duplicated/stale metadata behind. A segment whose removal
 	// fails stays listed so the next truncation retries it; one already
-	// gone from disk counts as removed.
+	// gone from disk counts as removed. Compaction failures likewise keep
+	// the original segment, whole and listed.
 	kept := make([]segMeta, 0, len(w.sealed))
 	var firstErr error
 	for _, seg := range w.sealed {
@@ -323,6 +468,13 @@ func (w *wal) truncateTo(version uint64) error {
 			}
 			continue
 		}
+		if seg.records > 0 && seg.minVer <= version {
+			if err := w.compactSegmentLocked(&seg, version); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("persist: compacting WAL segment: %w", err)
+				}
+			}
+		}
 		kept = append(kept, seg)
 	}
 	w.sealed = kept
@@ -330,6 +482,62 @@ func (w *wal) truncateTo(version uint64) error {
 		return firstErr
 	}
 	return syncDir(w.dir)
+}
+
+// compactSegmentLocked rewrites one sealed segment keeping only records
+// above version, updating *seg to describe the rewritten file. The rewrite
+// is crash-safe: the survivors are written to a .tmp sibling, synced, and
+// renamed over the original — a crash leaves either the whole old segment or
+// the compacted one, both of which scan cleanly and replay identically
+// (covered records are skipped by replay anyway). The output is always
+// format v2, which is how legacy v1 segments age out of a mixed directory.
+func (w *wal) compactSegmentLocked(seg *segMeta, version uint64) error {
+	recs, _, _, err := scanSegment(seg.path, false, w.logf)
+	if err != nil {
+		return err
+	}
+	tmp := seg.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp) // no-op after the rename succeeds
+
+	next := segMeta{index: seg.index, path: seg.path}
+	_, err = f.Write(walMagic[:])
+	next.bytes = int64(len(walMagic))
+	if err == nil {
+		for _, r := range recs {
+			if r.version <= version {
+				continue
+			}
+			buf := encodeRecord(&w.buf, r.kind, r.version, r.edges, r.mark)
+			w.buf = buf
+			if _, err = f.Write(buf); err != nil {
+				break
+			}
+			next.bytes += int64(len(buf))
+			next.note(r.version)
+		}
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, seg.path); err != nil {
+		return err
+	}
+	w.compactions++
+	if seg.bytes > next.bytes {
+		w.compactedBytes += uint64(seg.bytes - next.bytes)
+	}
+	*seg = next
+	return nil
 }
 
 // sync flushes the active segment to disk regardless of policy.
@@ -370,10 +578,10 @@ func (w *wal) diskStats() (segments int, bytes int64) {
 	return len(w.sealed) + 1, bytes + w.active.bytes
 }
 
-func (w *wal) counters() (records, appended, fsyncs uint64) {
+func (w *wal) counters() (records, appended, tombstones, fsyncs, compactions, compacted uint64) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.appendedRecords, w.appendedBytes, w.fsyncs
+	return w.appendedRecords, w.appendedBytes, w.tombstoneRecords, w.fsyncs, w.compactions, w.compactedBytes
 }
 
 // parseIndexedName extracts the 16-hex-digit index from names shaped like

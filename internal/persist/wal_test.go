@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"ensemfdet/internal/bipartite"
+	"ensemfdet/internal/stream"
 )
 
 func testLogf(t *testing.T) func(string, ...any) {
@@ -30,7 +31,7 @@ func TestWALAppendScanRoundTrip(t *testing.T) {
 	}
 	batches := [][]bipartite.Edge{edgesN(0, 3), edgesN(10, 1), edgesN(20, 7)}
 	for i, b := range batches {
-		if _, err := w.append(uint64(i+1), b); err != nil {
+		if _, err := w.append(recEdges, uint64(i+1), b, stream.WindowMark{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -60,7 +61,7 @@ func TestWALSegmentRotationAndTruncation(t *testing.T) {
 		t.Fatal(err)
 	}
 	for v := uint64(1); v <= 5; v++ {
-		if _, err := w.append(v, edgesN(int(v)*10, 2)); err != nil {
+		if _, err := w.append(recEdges, v, edgesN(int(v)*10, 2), stream.WindowMark{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -97,8 +98,11 @@ func TestWALSegmentRotationAndTruncation(t *testing.T) {
 func lastRecordRange(t *testing.T, data []byte) (start, end int) {
 	t.Helper()
 	off := 0
+	if len(data) >= len(walMagic) && [8]byte(data[:8]) == walMagic {
+		off = len(walMagic)
+	}
 	for off < len(data) {
-		_, n, ok := decodeRecord(data[off:])
+		_, n, ok := decodeRecordV2(data[off:])
 		if !ok {
 			t.Fatalf("pristine WAL does not decode at offset %d", off)
 		}
@@ -123,7 +127,7 @@ func TestWALTornTailByteByByte(t *testing.T) {
 	}
 	const full = 4
 	for v := uint64(1); v <= full; v++ {
-		if _, err := w.append(v, edgesN(int(v)*100, 3)); err != nil {
+		if _, err := w.append(recEdges, v, edgesN(int(v)*100, 3), stream.WindowMark{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -158,7 +162,7 @@ func TestWALTornTailByteByByte(t *testing.T) {
 			}
 		}
 		// The log must remain appendable after truncation.
-		if _, err := w.append(uint64(full), edgesN(999, 1)); err != nil {
+		if _, err := w.append(recEdges, uint64(full), edgesN(999, 1), stream.WindowMark{}); err != nil {
 			t.Fatalf("%s: append after truncation: %v", name, err)
 		}
 		if err := w.close(); err != nil {
@@ -195,7 +199,7 @@ func TestWALRefusesSealedCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	for v := uint64(1); v <= 3; v++ {
-		if _, err := w.append(v, edgesN(int(v)*10, 2)); err != nil {
+		if _, err := w.append(recEdges, v, edgesN(int(v)*10, 2), stream.WindowMark{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -239,7 +243,7 @@ func TestTruncateToleratesMissingSegment(t *testing.T) {
 		t.Fatal(err)
 	}
 	for v := uint64(1); v <= 4; v++ {
-		if _, err := w.append(v, edgesN(int(v)*10, 2)); err != nil {
+		if _, err := w.append(recEdges, v, edgesN(int(v)*10, 2), stream.WindowMark{}); err != nil {
 			t.Fatal(err)
 		}
 	}

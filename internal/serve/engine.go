@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ensemfdet/internal/bipartite"
 	"ensemfdet/internal/core"
@@ -160,6 +161,18 @@ type Snapshotter interface {
 	Stats() stream.Stats
 }
 
+// Windower is the optional windowing extension of Snapshotter: a source that
+// can retire edges under a sliding-window policy. *stream.Graph implements
+// it; when the engine's source does and a policy is active, the engine
+// surfaces window stats/metrics, and Ingest kicks an asynchronous retire
+// pass whenever a batch pushes the live count past the MaxEdges bound (age
+// bounds are the retire ticker's job — cmd/ensemfdetd runs one).
+type Windower interface {
+	Retire(now time.Time) stream.RetireResult
+	Window() stream.WindowPolicy
+	WindowStats() stream.WindowStats
+}
+
 type cacheKey struct {
 	version uint64
 	config  string
@@ -204,6 +217,15 @@ type Engine struct {
 	ingestEdges   atomic.Uint64 // edges actually added (post-dedup)
 	ingestDups    atomic.Uint64
 
+	// win is the source's windowing seam (nil when the Snapshotter cannot
+	// retire). retiring single-flights the post-ingest count-policy kicks;
+	// retireWG lets Close join an in-flight kick before tearing down the
+	// persistence the retire would journal into.
+	win         Windower
+	retiring    atomic.Bool
+	retireWG    sync.WaitGroup
+	retireKicks atomic.Uint64
+
 	// persist, when attached, is the daemon's durability store; the engine
 	// only observes it (Stats, /metrics) and closes it on shutdown — the
 	// write path reaches it through the stream graph's journal hook.
@@ -212,7 +234,7 @@ type Engine struct {
 
 // NewEngine returns an Engine serving detections over src.
 func NewEngine(src Snapshotter, opts Options) *Engine {
-	return &Engine{
+	e := &Engine{
 		src:        src,
 		opts:       opts,
 		sem:        make(chan struct{}, opts.maxConcurrent()),
@@ -220,6 +242,8 @@ func NewEngine(src Snapshotter, opts Options) *Engine {
 		outScratch: make(chan *core.RunScratch, opts.maxConcurrent()),
 		cache:      make(map[cacheKey]*entry),
 	}
+	e.win, _ = src.(Windower)
+	return e
 }
 
 // VoteSet is a cached ensemble outcome pinned to the graph version that
@@ -473,15 +497,19 @@ func (e *Engine) Rank(ctx context.Context, p Params, minVotes, top int) (Ranking
 // sweeps do not trigger recomputation. Shards and Build are present when the
 // underlying Snapshotter exposes them (the sharded stream graph does).
 type Stats struct {
-	Graph        stream.Stats       `json:"graph"`
-	Shards       []stream.ShardSize `json:"shards,omitempty"`
-	Build        *stream.BuildStats `json:"build,omitempty"`
-	CacheEntries int                `json:"cache_entries"`
-	CacheHits    uint64             `json:"cache_hits"`
-	CacheMisses  uint64             `json:"cache_misses"`
-	EnsembleRuns uint64             `json:"ensemble_runs"`
-	InFlight     int                `json:"in_flight"`
-	IngestStats  IngestStats        `json:"ingest"`
+	Graph  stream.Stats       `json:"graph"`
+	Shards []stream.ShardSize `json:"shards,omitempty"`
+	Build  *stream.BuildStats `json:"build,omitempty"`
+	// Window reports the sliding-window policy, watermark and retire
+	// counters when the underlying source can window and a policy is active;
+	// nil for an unbounded graph.
+	Window       *stream.WindowStats `json:"window,omitempty"`
+	CacheEntries int                 `json:"cache_entries"`
+	CacheHits    uint64              `json:"cache_hits"`
+	CacheMisses  uint64              `json:"cache_misses"`
+	EnsembleRuns uint64              `json:"ensemble_runs"`
+	InFlight     int                 `json:"in_flight"`
+	IngestStats  IngestStats         `json:"ingest"`
 	// Persist reports WAL and snapshot counters when a durability store is
 	// attached; nil for a memory-only daemon.
 	Persist *persist.Stats `json:"persist,omitempty"`
@@ -519,6 +547,10 @@ func (e *Engine) Stats() Stats {
 		b := bs.BuildStats()
 		st.Build = &b
 	}
+	if e.win != nil && e.win.Window().Enabled() {
+		w := e.win.WindowStats()
+		st.Window = &w
+	}
 	if e.persist != nil {
 		p := e.persist.Stats()
 		st.Persist = &p
@@ -533,12 +565,50 @@ func (e *Engine) AttachPersist(st *persist.Store) { e.persist = st }
 
 // Close flushes and closes the attached durability store (final snapshot +
 // WAL sync); it is a no-op for a memory-only engine. Call it after the HTTP
-// server has drained, so no ingest races the shutdown flush.
+// server has drained, so no ingest races the shutdown flush. An in-flight
+// background retire pass is joined first — its tombstone must reach the WAL
+// before the final snapshot cut, not race the store teardown.
 func (e *Engine) Close() error {
+	e.retireWG.Wait()
 	if e.persist == nil {
 		return nil
 	}
 	return e.persist.Close()
+}
+
+// RetireNow runs one synchronous retire pass against the source's window
+// policy (the daemon's retire ticker calls this on its period). It reports
+// ok=false when the source cannot window or no policy is active. Callers
+// driving RetireNow from their own goroutine must join it before Close: a
+// pass that commits its removal after the final snapshot cut, with its
+// tombstone refused by the closed store, would resurrect the expired edges
+// at the next boot. (Close itself only joins the engine's internal ingest
+// kicks.)
+func (e *Engine) RetireNow() (stream.RetireResult, bool) {
+	if e.win == nil || !e.win.Window().Enabled() {
+		return stream.RetireResult{}, false
+	}
+	return e.win.Retire(time.Now()), true
+}
+
+// kickRetire starts one background retire pass unless one is already in
+// flight. It is the MaxEdges backstop: the retire ticker bounds staleness
+// for the age policies, but a burst of ingest can blow through a count bound
+// between ticks, so the ingest path kicks eagerly. A journal failure inside
+// the pass is counted by the stream layer (WindowStats.JournalErrors) and
+// degrades the persistence store exactly like a failed append; the pass
+// itself needs no error plumbing here.
+func (e *Engine) kickRetire() {
+	if !e.retiring.CompareAndSwap(false, true) {
+		return
+	}
+	e.retireKicks.Add(1)
+	e.retireWG.Add(1)
+	go func() {
+		defer e.retireWG.Done()
+		defer e.retiring.Store(false)
+		e.win.Retire(time.Now())
+	}()
 }
 
 // Source exposes the underlying dynamic graph. Ingest should go through
@@ -562,6 +632,11 @@ func (e *Engine) Ingest(edges []bipartite.Edge) (stream.AppendResult, error) {
 	e.ingestBatches.Add(1)
 	e.ingestEdges.Add(uint64(res.Added))
 	e.ingestDups.Add(uint64(res.Duplicates))
+	if e.win != nil {
+		if p := e.win.Window(); p.MaxEdges > 0 && res.Stats.NumEdges > p.MaxEdges {
+			e.kickRetire()
+		}
+	}
 	if res.Err != nil {
 		// The batch is in memory but the journal did not acknowledge it:
 		// fail the request so the client retries (dedup makes that safe)

@@ -405,6 +405,10 @@ func (failingJournal) AppendEdges(uint64, []bipartite.Edge) error {
 	return errors.New("disk full")
 }
 
+func (failingJournal) RetireEdges(uint64, []bipartite.Edge, stream.WindowMark) error {
+	return errors.New("disk full")
+}
+
 // TestIngestJournalFailureIs500 pins the durability error path: a WAL
 // failure is a server fault (500, retryable), never a 400.
 func TestIngestJournalFailureIs500(t *testing.T) {

@@ -48,6 +48,16 @@ func handleMetrics(e *Engine, w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "%s{kind=\"delta\"} %s\n", dur, formatSeconds(st.Build.DeltaBuildDur.Seconds()))
 		fmt.Fprintf(w, "%s{kind=\"full\"} %s\n", dur, formatSeconds(st.Build.FullBuildDur.Seconds()))
 	}
+	if win := st.Window; win != nil {
+		counter("ensemfdetd_window_retired_edges_total", "Edges retired by sliding-window expiry passes.", win.RetiredEdges)
+		counter("ensemfdetd_window_retire_passes_total", "Retire passes that removed at least one edge.", win.RetirePasses)
+		const retireDur = "ensemfdetd_window_retire_seconds_total"
+		fmt.Fprintf(w, "# HELP %s Cumulative time spent inside removing retire passes.\n# TYPE %s counter\n%s %s\n",
+			retireDur, retireDur, retireDur, formatSeconds(win.RetireDur.Seconds()))
+		counter("ensemfdetd_window_journal_errors_total", "Retire passes whose tombstone failed to reach the WAL.", win.JournalErrors)
+		gauge("ensemfdetd_window_live_edges", "Live edges currently inside the window.", int64(win.LiveEdges))
+		gauge("ensemfdetd_window_watermark_version", "Expiry watermark: no live edge was ingested at or below this version.", int64(win.Mark.Version))
+	}
 	if len(st.Shards) > 0 {
 		const name = "ensemfdetd_shard_edges"
 		fmt.Fprintf(w, "# HELP %s Edges held by each ingest shard.\n# TYPE %s gauge\n", name, name)
@@ -59,6 +69,9 @@ func handleMetrics(e *Engine, w http.ResponseWriter, _ *http.Request) {
 		counter("ensemfdetd_wal_records_total", "Edge batches appended to the write-ahead log.", p.AppendedRecords)
 		counter("ensemfdetd_wal_bytes_total", "Bytes appended to the write-ahead log.", p.AppendedBytes)
 		counter("ensemfdetd_wal_fsyncs_total", "WAL fsync calls.", p.Fsyncs)
+		counter("ensemfdetd_wal_tombstones_total", "Tombstone (edge-retirement) records appended to the write-ahead log.", p.TombstoneRecords)
+		counter("ensemfdetd_wal_compactions_total", "Sealed WAL segments rewritten to drop snapshot-covered records.", p.Compactions)
+		counter("ensemfdetd_wal_compacted_bytes_total", "WAL bytes reclaimed by segment compaction.", p.CompactedBytes)
 		gauge("ensemfdetd_wal_segments", "WAL segments currently on disk.", int64(p.WALSegments))
 		gauge("ensemfdetd_wal_disk_bytes", "WAL bytes currently on disk.", p.WALBytes)
 		counter("ensemfdetd_persist_snapshots_total", "Durable graph snapshots written.", p.SnapshotsWritten)

@@ -1,7 +1,7 @@
 // Package stream provides the mutable front half of the serving pipeline: a
 // concurrency-safe dynamic bipartite graph that accepts batched edge appends
-// as purchases arrive and hands out immutable bipartite.Graph snapshots for
-// detection.
+// as purchases arrive, retires edges that age out of a configured window, and
+// hands out immutable bipartite.Graph snapshots for detection.
 //
 // The paper's ensemble (and every algorithm in this repository) works on an
 // immutable dual-CSR Graph. A production ingest path cannot rebuild that CSR
@@ -17,21 +17,27 @@
 // shards never contend. A single monotonic version survives the split: every
 // batch that adds at least one edge bumps one atomic counter, and appends
 // run under the read half of a commit lock whose write half lets the
-// snapshot path capture a (version, per-shard watermark) cut that is exactly
-// consistent — an edge is visible to a capture iff its batch's version bump
-// is.
+// snapshot path capture a consistent cut — an edge is visible to a capture
+// iff its batch's version bump is. Every log entry is stamped with the
+// version and wall time its batch committed as; the stamps are what the
+// window policy (window.go) ages edges by.
 //
-// # Incremental snapshots
+// # Incremental snapshots with deletions
 //
-// Snapshots record per-shard sequence watermarks (log lengths). The next
-// build hands only the edges past those watermarks — the delta — to
-// bipartite.ExtendBuilder, which merges them into the previous CSR instead
-// of re-sorting the whole log; a full rebuild runs only when the delta is a
-// large fraction of the graph (or there is no previous snapshot). Shard logs
-// are append-only, so the capture is zero-copy: builders read the immutable
-// prefix of each log while producers keep appending behind the watermarks.
-// The built snapshot is published through an atomic pointer under the
-// single-flight build lock, so a slow store can never stall ingest.
+// Each shard remembers how much of its log the latest captured snapshot has
+// seen (a per-shard baseline mark), and retire passes collect the edges they
+// remove from below those marks into a pending-deletes list. A snapshot
+// capture therefore yields exactly the delta since the previous snapshot —
+// the inserted suffix of every shard log plus the pending deletes — and
+// hands both to bipartite.ExtendBuilder.ExtendDelta, which merges them into
+// the previous CSR instead of re-sorting the whole log. A full rebuild runs
+// only when the combined insert+delete churn is a large fraction of the
+// graph (or there is no previous snapshot). Shard logs are append-only
+// between retire passes, and retire rewrites survivors into fresh backing
+// arrays, so captured log views stay immutable while producers keep
+// appending behind them. The built snapshot is published through an atomic
+// pointer under the single-flight build lock, so a slow store can never
+// stall ingest.
 package stream
 
 import (
@@ -44,6 +50,7 @@ import (
 
 	"ensemfdet/internal/bipartite"
 	"ensemfdet/internal/scratch"
+	"ensemfdet/internal/u64set"
 )
 
 // DefaultShards returns the shard count New picks: GOMAXPROCS rounded up to
@@ -61,15 +68,27 @@ func DefaultShards() int {
 const MaxShards = 64
 
 // deltaRebuildDenominator sets the incremental-build threshold: a snapshot
-// uses the delta path while |Δ| · denominator ≤ |E_prev|, i.e. deltas up to
-// 25% of the previous snapshot. Past that, merging approaches the cost of
-// the full counting-sort rebuild and loses to its better locality.
+// uses the delta path while (|inserts| + |deletes|) · denominator ≤ |E_prev|,
+// i.e. combined churn up to 25% of the previous snapshot. Past that, merging
+// approaches the cost of the full counting-sort rebuild and loses to its
+// better locality. Deletes count toward the churn: every deleted edge makes
+// the merge visit (and the merchant side re-derive) an affected row, exactly
+// like an insert does.
 const deltaRebuildDenominator = 4
 
 // fullBuildKeepCap is the largest concat-scratch capacity (in edges) kept
 // after a full rebuild; larger buffers are released so one big build does
 // not pin O(|E|) scratch on a graph that thereafter only does delta builds.
 const fullBuildKeepCap = 1 << 16
+
+// logEntry is one live edge in a shard log, stamped with the version and
+// wall time of the batch that ingested it. The stamps drive the window
+// policy: age in versions compares ver, age in wall time compares at.
+type logEntry struct {
+	e   bipartite.Edge
+	ver uint64
+	at  int64 // unix nanoseconds
+}
 
 // Graph is a mutable, concurrency-safe dynamic bipartite graph. The zero
 // value is not usable; construct with New or NewSharded. All methods are
@@ -80,15 +99,27 @@ type Graph struct {
 
 	// commitMu makes (version, shard logs) capturable as one consistent cut:
 	// appends hold the read half for the whole batch (shard writes + version
-	// bump), captures take the write half briefly. Appends therefore only
-	// serialize against captures and same-shard writers, never each other.
+	// bump), while captures and retire passes take the write half. Appends
+	// therefore only serialize against captures, retires, and same-shard
+	// writers, never each other.
 	commitMu sync.RWMutex
 	version  atomic.Uint64
+	// lastIngest is the version of the newest adding batch. The version-age
+	// window measures against it rather than version itself: retire passes
+	// bump version too, and aging against that would make an idle graph
+	// slide its own window until it drained.
+	lastIngest atomic.Uint64
 
-	// journal, when set, receives every batch that added edges, tagged with
-	// the version the batch committed as. It is read under commitMu's read
-	// half and swapped under the write half, so a batch never races the tee.
+	// journal, when set, receives every batch that added edges and every
+	// retire pass that removed edges, tagged with the version the change
+	// committed as. It is read under commitMu (read half for appends, write
+	// half for retires) and swapped under the write half, so a change never
+	// races the tee.
 	journal Journal
+
+	// now supplies ingest timestamps; it exists so tests can drive the
+	// wall-clock window deterministically.
+	now func() time.Time
 
 	// Size counters, updated once per touched shard per batch; reads are
 	// lock-free and exact whenever no append is in flight.
@@ -96,14 +127,32 @@ type Graph struct {
 	numUsers     atomic.Int64
 	numMerchants atomic.Int64
 
+	// pendingDel accumulates edges that retire passes removed from below the
+	// shards' baseline marks — edges the previous snapshot still contains.
+	// The next capture consumes it as the delete half of the delta. Guarded
+	// by commitMu's write half (retire and capture both hold it).
+	pendingDel []bipartite.Edge
+
+	// Window state: the active policy and the expiry watermark (no live edge
+	// carries a stamp at or below the mark). See window.go.
+	window   atomic.Pointer[WindowPolicy]
+	markVer  atomic.Uint64
+	markWall atomic.Int64
+
+	retiredTotal atomic.Uint64
+	retirePasses atomic.Uint64
+	retireNs     atomic.Int64
+	journalErrs  atomic.Uint64
+
 	// groupScratch pools per-append batch-grouping state (multi-shard only).
 	groupScratch sync.Pool
 
-	buildMu sync.Mutex               // single-flights cold snapshot builds
-	snap    atomic.Pointer[snapshot] // published under buildMu, read lock-free
-	ext     *bipartite.ExtendBuilder // build arena, guarded by buildMu
-	logRefs [][]bipartite.Edge       // capture scratch, guarded by buildMu
-	edgeBuf []bipartite.Edge         // delta/full concat scratch, guarded by buildMu
+	buildMu  sync.Mutex               // single-flights cold snapshot builds
+	snap     atomic.Pointer[snapshot] // published under buildMu, read lock-free
+	ext      *bipartite.ExtendBuilder // build arena, guarded by buildMu
+	logRefs  [][]logEntry             // capture scratch, guarded by buildMu
+	insStart []int                    // capture scratch: per-shard baseline marks
+	edgeBuf  []bipartite.Edge         // delta/full concat scratch, guarded by buildMu
 
 	deltaBuilds  atomic.Uint64
 	fullBuilds   atomic.Uint64
@@ -115,18 +164,25 @@ type Graph struct {
 // shard headers on distinct cache lines so uncontended shards stay
 // uncontended at the hardware level too.
 type shard struct {
-	mu    sync.Mutex
-	seen  map[uint64]struct{} // edge key set for O(1) dedup
-	edges []bipartite.Edge    // deduplicated, append order, append-only
-	_     [64]byte
+	mu   sync.Mutex
+	seen u64set.Set // edge key set for O(1) dedup; supports delete for expiry
+	// entries is the live log in append order. Appends only ever append;
+	// retire passes rewrite survivors into a fresh backing array (preserving
+	// order), so a captured view of the old array stays immutable.
+	entries []logEntry
+	// snapMark is the baseline boundary: entries below it are contained in
+	// the latest captured snapshot, entries at or past it are the pending
+	// insert delta. Written by captures and retires (commitMu write half).
+	snapMark int
+	_        [64]byte
 }
 
-// snapshot pins a built CSR to the version and per-shard log watermarks it
-// reflects; the watermarks are what the next build's delta starts from.
+// snapshot pins a built CSR to the version it reflects and the window
+// watermark current at its capture.
 type snapshot struct {
 	g       *bipartite.Graph
 	version uint64
-	marks   []int
+	mark    WindowMark
 }
 
 // New returns an empty dynamic graph at version 0 with DefaultShards shards.
@@ -148,11 +204,9 @@ func NewSharded(shards int) *Graph {
 		shards: make([]shard, p),
 		mask:   uint32(p - 1),
 		ext:    bipartite.NewExtendBuilder(),
+		now:    time.Now,
 	}
 	g.groupScratch.New = func() any { return new(groupScratch) }
-	for i := range g.shards {
-		g.shards[i].seen = make(map[uint64]struct{})
-	}
 	return g
 }
 
@@ -183,13 +237,24 @@ type AppendResult struct {
 }
 
 // Journal is the persistence tee: when installed via SetJournal, every batch
-// that adds at least one edge is handed to AppendEdges with the version the
-// batch committed as, before the append returns. The full pre-dedup batch is
-// journaled — replaying it through Append is idempotent. Implementations are
-// called concurrently (one call per in-flight batch) and must serialize
-// internally; internal/persist.Store is the production implementation.
+// that adds at least one edge is handed to AppendEdges, and every retire
+// pass (or explicit Remove) that removes at least one edge is handed to
+// RetireEdges, each with the version the change committed as, before the
+// mutating call returns. The full pre-dedup batch is journaled — replaying
+// it through Append is idempotent — and retire records carry the exact edges
+// removed, so replaying them through Remove reproduces the deletion without
+// re-evaluating any window policy. Implementations are called concurrently
+// (one call per in-flight batch; RetireEdges is serialized by the commit
+// lock) and must serialize internally; internal/persist.Store is the
+// production implementation.
 type Journal interface {
 	AppendEdges(version uint64, edges []bipartite.Edge) error
+	// RetireEdges receives the exact removed edges plus the window watermark
+	// after the pass, so replay restores expiry progress (AdvanceMarkTo)
+	// along with the deletion — the watermark advances between snapshots,
+	// and without it in the record a crash would roll expiry progress back
+	// to the last snapshot's mark.
+	RetireEdges(version uint64, edges []bipartite.Edge, mark WindowMark) error
 }
 
 // SetJournal installs (or, with nil, removes) the durability tee. Install it
@@ -202,52 +267,87 @@ func (g *Graph) SetJournal(j Journal) {
 }
 
 // Restore seeds an empty dynamic graph from a recovered snapshot, adopting
-// its version. The snapshot is also pre-published as the graph's cached CSR
-// snapshot, so the first post-boot Snapshot — and every delta build after it
-// — starts from the recovered arrays instead of rebuilding O(|E|) state.
-// Restore must run before any Append and before SetJournal; snap must be a
+// its version; RestoreAt is the variant recovery uses to also adopt the
+// window watermark and ingest-time stamp recorded in a v2 snapshot file.
+func (g *Graph) Restore(snap *bipartite.Graph, version uint64) error {
+	return g.RestoreAt(snap, version, WindowMark{}, 0)
+}
+
+// RestoreAt seeds an empty dynamic graph from a recovered snapshot, adopting
+// its version and window watermark. The snapshot is also pre-published as
+// the graph's cached CSR snapshot, so the first post-boot Snapshot — and
+// every delta build after it — starts from the recovered arrays instead of
+// rebuilding O(|E|) state.
+//
+// Restored edges are stamped with the snapshot's version and with wall (the
+// time the snapshot was written; 0 falls back to now): their original
+// per-batch stamps are not persisted, so for windowing purposes the whole
+// recovered set is treated as ingested when the snapshot was cut. The window
+// therefore never expires a recovered edge earlier than the live run would
+// have — it can only retain it a little longer, and steady-state traffic
+// re-converges the stamps.
+//
+// RestoreAt must run before any Append and before SetJournal; snap must be a
 // canonical CSR (one produced by this package's Snapshot or the bipartite
 // codec), or later incremental snapshots would diverge from full rebuilds.
-func (g *Graph) Restore(snap *bipartite.Graph, version uint64) error {
+func (g *Graph) RestoreAt(snap *bipartite.Graph, version uint64, mark WindowMark, wall int64) error {
 	if g.version.Load() != 0 || g.numEdges.Load() != 0 {
 		return errors.New("stream: Restore requires an empty graph")
 	}
+	g.markVer.Store(mark.Version)
+	g.markWall.Store(mark.Wall)
 	if snap == nil {
 		g.version.Store(version)
+		g.lastIngest.Store(version)
 		return nil
+	}
+	if wall == 0 {
+		wall = g.now().UnixNano()
 	}
 	if res := g.Append(snap.EdgeList()); res.Duplicates != 0 {
 		return fmt.Errorf("stream: restore snapshot contained %d duplicate edges", res.Duplicates)
 	}
 	atomicMax(&g.numUsers, int64(snap.NumUsers()))
 	atomicMax(&g.numMerchants, int64(snap.NumMerchants()))
-	marks := make([]int, len(g.shards))
 	for i := range g.shards {
-		g.shards[i].mu.Lock()
-		marks[i] = len(g.shards[i].edges)
-		g.shards[i].mu.Unlock()
+		sh := &g.shards[i]
+		sh.mu.Lock()
+		for j := range sh.entries {
+			sh.entries[j].ver = version
+			sh.entries[j].at = wall
+		}
+		sh.snapMark = len(sh.entries)
+		sh.mu.Unlock()
 	}
-	g.snap.Store(&snapshot{g: snap, version: version, marks: marks})
+	g.snap.Store(&snapshot{g: snap, version: version, mark: mark})
 	g.version.Store(version)
+	g.lastIngest.Store(version)
 	return nil
 }
 
 // Append records a batch of purchase edges, deduplicating against everything
-// already ingested. The version counter advances once per batch that adds at
+// currently live. The version counter advances once per batch that adds at
 // least one new edge, so an idempotent retry of the same batch leaves the
-// version — and therefore every cached detection — intact. The batch is
-// committed shard by shard: a concurrent snapshot may observe a prefix of a
-// large multi-shard batch, but never a torn shard.
+// version — and therefore every cached detection — intact. An edge that was
+// retired by the window is no longer in the dedup set, so re-observing it
+// re-ingests it with fresh stamps. The batch is committed shard by shard: a
+// concurrent snapshot may observe a prefix of a large multi-shard batch, but
+// never a torn shard.
 func (g *Graph) Append(edges []bipartite.Edge) AppendResult {
 	g.commitMu.RLock()
 	defer g.commitMu.RUnlock()
+	at := g.now().UnixNano()
 
 	var res AppendResult
 	var maxU, maxV int64 = -1, -1
 	if len(g.shards) == 1 {
-		res.Added = g.shards[0].appendRun(edges, &res.Duplicates, &maxU, &maxV)
+		start, added := g.shards[0].appendRun(edges, &res.Duplicates, &maxU, &maxV)
+		res.Added = added
 		if res.Added > 0 {
 			g.numEdges.Add(int64(res.Added))
+			g.commitBatch(&res, edges, func(ver uint64) {
+				g.shards[0].stamp(start, res.Added, ver, at)
+			})
 		}
 	} else {
 		// Counting-sort the batch into shard-contiguous runs first, so each
@@ -256,34 +356,35 @@ func (g *Graph) Append(edges []bipartite.Edge) AppendResult {
 		// appends allocate nothing.
 		gs := g.groupScratch.Get().(*groupScratch)
 		grouped := gs.group(edges, g.mask)
+		starts := scratch.Grow(&gs.starts, len(g.shards))
+		added := scratch.Grow(&gs.added, len(g.shards))
 		for si := range g.shards {
+			added[si] = 0
 			run := grouped[gs.off[si]:gs.off[si+1]]
 			if len(run) == 0 {
 				continue
 			}
-			added := g.shards[si].appendRun(run, &res.Duplicates, &maxU, &maxV)
-			if added > 0 {
-				g.numEdges.Add(int64(added))
-				res.Added += added
+			start, n := g.shards[si].appendRun(run, &res.Duplicates, &maxU, &maxV)
+			if n > 0 {
+				g.numEdges.Add(int64(n))
+				res.Added += n
+				starts[si], added[si] = start, n
 			}
+		}
+		if res.Added > 0 {
+			g.commitBatch(&res, edges, func(ver uint64) {
+				for si := range g.shards {
+					if added[si] > 0 {
+						g.shards[si].stamp(starts[si], added[si], ver, at)
+					}
+				}
+			})
 		}
 		g.groupScratch.Put(gs)
 	}
 	if res.Added > 0 {
 		atomicMax(&g.numUsers, maxU+1)
 		atomicMax(&g.numMerchants, maxV+1)
-		res.Version = g.version.Add(1)
-		// Tee the batch into the journal before acknowledging, still under
-		// the commit read lock: a snapshot capture at version V therefore
-		// never completes before every batch with version ≤ V has been
-		// offered to the log, which is what makes truncating the log at a
-		// snapshot's watermark safe. The full pre-dedup batch is journaled;
-		// replay re-deduplicates.
-		if g.journal != nil {
-			if err := g.journal.AppendEdges(res.Version, edges); err != nil {
-				res.Err = fmt.Errorf("stream: journal append at version %d: %w", res.Version, err)
-			}
-		}
 	} else {
 		res.Version = g.version.Load()
 	}
@@ -296,20 +397,41 @@ func (g *Graph) Append(edges []bipartite.Edge) AppendResult {
 	return res
 }
 
+// commitBatch finishes an adding batch while still under the commit read
+// lock: it bumps the version, stamps the appended log entries with it (the
+// stamp callback re-takes each touched shard lock; the appended index ranges
+// are stable because retires need the commit write half), and tees the batch
+// into the journal. A snapshot capture at version V therefore never completes
+// before every batch with version ≤ V has been stamped and offered to the
+// log, which is what makes truncating the log at a snapshot's watermark safe.
+// The full pre-dedup batch is journaled; replay re-deduplicates.
+func (g *Graph) commitBatch(res *AppendResult, edges []bipartite.Edge, stamp func(ver uint64)) {
+	res.Version = g.version.Add(1)
+	atomicMaxU64(&g.lastIngest, res.Version)
+	stamp(res.Version)
+	if g.journal != nil {
+		if err := g.journal.AppendEdges(res.Version, edges); err != nil {
+			res.Err = fmt.Errorf("stream: journal append at version %d: %w", res.Version, err)
+		}
+	}
+}
+
 // appendRun folds a slice of edges, all belonging to this shard (or the only
-// shard), into the shard under its lock.
-func (s *shard) appendRun(run []bipartite.Edge, dups *int, maxU, maxV *int64) int {
+// shard), into the shard under its lock, returning the log index the run
+// started at and the number of entries added. Entries are stamped later by
+// the batch commit, once the batch's version is known; the [start,
+// start+added) range stays valid because concurrent batches only append past
+// it and retire passes exclude appends entirely.
+func (s *shard) appendRun(run []bipartite.Edge, dups *int, maxU, maxV *int64) (start, added int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	added := 0
+	start = len(s.entries)
 	for _, e := range run {
-		k := edgeKey(e)
-		if _, dup := s.seen[k]; dup {
+		if !s.seen.Add(edgeKey(e)) {
 			*dups++
 			continue
 		}
-		s.seen[k] = struct{}{}
-		s.edges = append(s.edges, e)
+		s.entries = append(s.entries, logEntry{e: e})
 		added++
 		if int64(e.U) > *maxU {
 			*maxU = int64(e.U)
@@ -318,15 +440,29 @@ func (s *shard) appendRun(run []bipartite.Edge, dups *int, maxU, maxV *int64) in
 			*maxV = int64(e.V)
 		}
 	}
-	return added
+	return start, added
+}
+
+// stamp writes the batch's version and ingest time into the entries this
+// batch appended. The range [start, start+n) is stable: entries only ever
+// grow between retire passes, and retire passes exclude appends entirely.
+func (s *shard) stamp(start, n int, ver uint64, at int64) {
+	s.mu.Lock()
+	for i := start; i < start+n; i++ {
+		s.entries[i].ver = ver
+		s.entries[i].at = at
+	}
+	s.mu.Unlock()
 }
 
 // groupScratch is reusable per-append grouping state: a shard-major
-// permutation of the batch plus the run offsets.
+// permutation of the batch plus the run offsets and per-shard stamp ranges.
 type groupScratch struct {
-	buf []bipartite.Edge
-	off []int // len shards+1 after group; off[s]:off[s+1] is shard s's run
-	cur []int
+	buf    []bipartite.Edge
+	off    []int // len shards+1 after group; off[s]:off[s+1] is shard s's run
+	cur    []int
+	starts []int
+	added  []int
 }
 
 // group scatters edges into shard-contiguous runs in gs.buf and returns the
@@ -361,6 +497,16 @@ func atomicMax(a *atomic.Int64, v int64) {
 	}
 }
 
+// atomicMaxU64 raises *a to v if v is larger.
+func atomicMaxU64(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // AppendEdge records a single purchase (u, v).
 func (g *Graph) AppendEdge(u, v uint32) AppendResult {
 	return g.Append([]bipartite.Edge{{U: u, V: v}})
@@ -372,17 +518,13 @@ func (g *Graph) Version() uint64 { return g.version.Load() }
 // AdvanceVersionTo raises the version counter to v if it is currently
 // lower. It exists for WAL replay: a crash can leave a version hole — a
 // batch that failed to journal, or one record of a concurrent pair torn
-// from the log tail — and replaying the surviving records then advancing to
-// each record's original version keeps recovered version labels (and
-// therefore vote-cache keys) identical to what acknowledged clients saw,
-// instead of silently renumbering everything after the hole.
+// from the log tail — and replaying the surviving records (edge batches and
+// tombstones alike) then advancing to each record's original version keeps
+// recovered version labels (and therefore vote-cache keys) identical to what
+// acknowledged clients saw, instead of silently renumbering everything after
+// the hole.
 func (g *Graph) AdvanceVersionTo(v uint64) {
-	for {
-		cur := g.version.Load()
-		if v <= cur || g.version.CompareAndSwap(cur, v) {
-			return
-		}
-	}
+	atomicMaxU64(&g.version, v)
 }
 
 // Stats is a point-in-time size summary of the dynamic graph.
@@ -394,7 +536,9 @@ type Stats struct {
 }
 
 // Stats returns the current version and side/edge counts. The reads are
-// lock-free; values are exact whenever no append is in flight.
+// lock-free; values are exact whenever no append is in flight. NumEdges is
+// the live (windowed) count; side sizes never shrink, because node ids are
+// dense indices and a fully expired user keeps its id.
 func (g *Graph) Stats() Stats {
 	return Stats{
 		Version:      g.version.Load(),
@@ -410,13 +554,13 @@ type ShardSize struct {
 	NumEdges int `json:"num_edges"`
 }
 
-// ShardSizes returns the per-shard edge counts, for observability.
+// ShardSizes returns the per-shard live edge counts, for observability.
 func (g *Graph) ShardSizes() []ShardSize {
 	out := make([]ShardSize, len(g.shards))
 	for i := range g.shards {
 		s := &g.shards[i]
 		s.mu.Lock()
-		out[i] = ShardSize{Shard: i, NumEdges: len(s.edges)}
+		out[i] = ShardSize{Shard: i, NumEdges: len(s.entries)}
 		s.mu.Unlock()
 	}
 	return out
@@ -446,66 +590,87 @@ func (g *Graph) BuildStats() BuildStats {
 // return the same *bipartite.Graph, so snapshotting is O(1) between appends.
 // Cold builds are single-flighted — a burst of snapshotters after an ingest
 // performs one capture and one build, not one per caller — and incremental:
-// when a previous snapshot exists and the delta since its watermarks is
-// small, the new CSR is merged from (previous snapshot, delta) instead of
-// rebuilt from all |E| edges. The returned graph is never mutated by later
-// appends, and is byte-identical for a given edge set regardless of shard
-// count, append order, or which build path produced it.
+// when a previous snapshot exists and the churn since it (appended edges
+// plus retired edges) is small, the new CSR is merged from (previous
+// snapshot, inserts, deletes) instead of rebuilt from all |E| edges. The
+// returned graph is never mutated by later appends or retires, and is
+// byte-identical for a given live edge set regardless of shard count, append
+// order, retire schedule, or which build path produced it.
 func (g *Graph) Snapshot() (*bipartite.Graph, uint64) {
+	s := g.snapshotInternal()
+	return s.g, s.version
+}
+
+// SnapshotWithMark is Snapshot plus the window watermark captured atomically
+// with the CSR cut — the persistence layer stores it in the snapshot file so
+// recovery adopts a watermark consistent with the recovered edge set.
+func (g *Graph) SnapshotWithMark() (*bipartite.Graph, uint64, WindowMark) {
+	s := g.snapshotInternal()
+	return s.g, s.version, s.mark
+}
+
+func (g *Graph) snapshotInternal() *snapshot {
 	if s := g.snap.Load(); s != nil && s.version == g.version.Load() {
-		return s.g, s.version
+		return s
 	}
 	// Serialize builders; losers of the race re-check the cache the winner
 	// just filled. Append never takes buildMu, so ingest is unaffected.
 	g.buildMu.Lock()
 	defer g.buildMu.Unlock()
 	if s := g.snap.Load(); s != nil && s.version == g.version.Load() {
-		return s.g, s.version
+		return s
 	}
 	prev := g.snap.Load()
 
 	// Capture a consistent cut under the commit lock: version, side sizes,
-	// and a stable view of every shard log. Logs are append-only, so the
-	// captured prefixes stay immutable after release and the hold time is
-	// O(shards), not O(edges) — ingest stalls for the capture, never for
-	// the build.
+	// watermark, a stable view of every shard log, and the pending deletes.
+	// The capture is also the baseline advance — each shard's snapMark moves
+	// to its log end and the delete list is taken — because the build below
+	// always completes and publishes, making this cut the next delta's
+	// starting point. Logs are append-only between retire passes (and retire
+	// rewrites into fresh arrays), so the captured views stay immutable after
+	// release and the hold time is O(shards), not O(edges) — ingest stalls
+	// for the capture, never for the build.
 	g.commitMu.Lock()
 	v := g.version.Load()
 	nu := int(g.numUsers.Load())
 	nm := int(g.numMerchants.Load())
-	marks := make([]int, len(g.shards))
+	mark := WindowMark{Version: g.markVer.Load(), Wall: g.markWall.Load()}
 	logs := scratch.Grow(&g.logRefs, len(g.shards))
-	total := 0
+	insStart := scratch.Grow(&g.insStart, len(g.shards))
+	total, insTotal := 0, 0
 	for i := range g.shards {
-		logs[i] = g.shards[i].edges
-		marks[i] = len(logs[i])
-		total += marks[i]
+		sh := &g.shards[i]
+		logs[i] = sh.entries
+		insStart[i] = sh.snapMark
+		total += len(sh.entries)
+		insTotal += len(sh.entries) - sh.snapMark
+		sh.snapMark = len(sh.entries)
 	}
+	dels := g.pendingDel
+	g.pendingDel = nil
 	g.commitMu.Unlock()
 
-	deltaN := total
-	if prev != nil {
-		deltaN = 0
-		for i, m := range marks {
-			deltaN += m - prev.marks[i]
-		}
-	}
-
+	churn := insTotal + len(dels)
 	start := time.Now()
 	var built *bipartite.Graph
-	if prev != nil && deltaN*deltaRebuildDenominator <= prev.g.NumEdges() {
-		delta := scratch.Grow(&g.edgeBuf, deltaN)[:0]
+	if prev != nil && churn*deltaRebuildDenominator <= prev.g.NumEdges() {
+		ins := scratch.Grow(&g.edgeBuf, insTotal)[:0]
 		for i, log := range logs {
-			delta = append(delta, log[prev.marks[i]:marks[i]]...)
+			for _, en := range log[insStart[i]:] {
+				ins = append(ins, en.e)
+			}
 		}
-		g.edgeBuf = delta
-		built = g.ext.Extend(prev.g, delta, nu, nm)
+		g.edgeBuf = ins
+		built = g.ext.ExtendDelta(prev.g, ins, dels, nu, nm)
 		g.deltaBuilds.Add(1)
 		g.deltaBuildNs.Add(int64(time.Since(start)))
 	} else {
 		all := scratch.Grow(&g.edgeBuf, total)[:0]
-		for i, log := range logs {
-			all = append(all, log[:marks[i]]...)
+		for _, log := range logs {
+			for _, en := range log {
+				all = append(all, en.e)
+			}
 		}
 		g.edgeBuf = all
 		built = g.ext.Rebuild(nu, nm, all)
@@ -522,6 +687,7 @@ func (g *Graph) Snapshot() (*bipartite.Graph, uint64) {
 	}
 	clear(logs) // do not pin shard log arrays beyond the build
 
-	g.snap.Store(&snapshot{g: built, version: v, marks: marks})
-	return built, v
+	ns := &snapshot{g: built, version: v, mark: mark}
+	g.snap.Store(ns)
+	return ns
 }

@@ -275,13 +275,15 @@ func TestConcurrentIngestAndSnapshot(t *testing.T) {
 	}
 }
 
-// recordingJournal captures journaled batches; err, when set, is returned
-// from every AppendEdges call.
+// recordingJournal captures journaled batches and tombstones; err, when set,
+// is returned from every call.
 type recordingJournal struct {
-	mu       sync.Mutex
-	versions []uint64
-	batches  [][]bipartite.Edge
-	err      error
+	mu             sync.Mutex
+	versions       []uint64
+	batches        [][]bipartite.Edge
+	retireVersions []uint64
+	retired        [][]bipartite.Edge
+	err            error
 }
 
 func (j *recordingJournal) AppendEdges(version uint64, edges []bipartite.Edge) error {
@@ -292,6 +294,17 @@ func (j *recordingJournal) AppendEdges(version uint64, edges []bipartite.Edge) e
 	}
 	j.versions = append(j.versions, version)
 	j.batches = append(j.batches, append([]bipartite.Edge(nil), edges...))
+	return nil
+}
+
+func (j *recordingJournal) RetireEdges(version uint64, edges []bipartite.Edge, _ WindowMark) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	j.retireVersions = append(j.retireVersions, version)
+	j.retired = append(j.retired, append([]bipartite.Edge(nil), edges...))
 	return nil
 }
 
