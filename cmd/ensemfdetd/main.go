@@ -7,6 +7,7 @@
 //	ensemfdetd [-addr :8080] [-load transactions.tsv] [-shards 0] [-max-concurrent 2] [-cache-size 32]
 //	           [-data-dir /var/lib/ensemfdetd] [-fsync always] [-snapshot-every 16777216]
 //	           [-window-age 720h] [-window-versions 0] [-window-max-edges 0] [-retire-every 1s]
+//	           [-serve-replication] [-follow http://primary:8080] [-max-ready-lag 8] [-version]
 //
 // The API (JSON unless noted):
 //
@@ -14,9 +15,11 @@
 //	POST /v1/detect  {"t":40,"n":80,"s":0.1,            run/serve a detection
 //	                  "sampler":"RES","seed":1}
 //	GET  /v1/votes   ?n=&s=&sampler=&seed=&min=&top=    ranked vote counts
-//	GET  /v1/stats                                      graph + cache + shard + build + persist counters
+//	GET  /v1/stats                                      graph + cache + shard + build + persist + repl counters
 //	GET  /metrics                                       the same, Prometheus text format
 //	GET  /healthz                                       liveness
+//	GET  /readyz                                        readiness (recovery done; follower lag within bound)
+//	GET  /v1/repl/...                                   WAL shipping (only with -serve-replication)
 //
 // Detection results are cached per (graph version, config): sweeping the
 // vote threshold T, re-querying, or ranking against an unchanged graph
@@ -47,6 +50,17 @@
 // torn WAL tail from a mid-write crash instead of refusing to start. No
 // restart resurrects an expired edge.
 //
+// A durable daemon started with -serve-replication is a replication primary:
+// it ships its snapshot and WAL to followers over GET /v1/repl/. A daemon
+// started with -follow <primary-url> is a read-only follower: it bootstraps
+// from the primary (or recovers locally, when -data-dir already holds
+// state), then tails the primary's log continuously, applying every record
+// at its exact version — its graph, and therefore its votes, are
+// byte-identical to the primary's at every version. Followers reject writes
+// with 403, report ready on /readyz only while within -max-ready-lag
+// versions of the primary, and expose lag in /v1/stats and
+// ensemfdetd_repl_* metrics.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests for up to -drain seconds, then flushing a final snapshot.
 package main
@@ -60,11 +74,27 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"syscall"
 	"time"
 
 	"ensemfdet"
 )
+
+// buildVersion is stamped at link time via
+// -ldflags "-X main.buildVersion=v1.2.3"; an unstamped module-aware build
+// falls back to the version embedded by the Go toolchain.
+var buildVersion = "dev"
+
+func versionString() string {
+	if buildVersion != "dev" {
+		return buildVersion
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return buildVersion
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -89,8 +119,16 @@ func run() error {
 		winVers  = flag.Uint64("window-versions", 0, "keep only the newest N ingest versions of edges (0 = unbounded)")
 		winEdges = flag.Int("window-max-edges", 0, "cap live edges, retiring oldest ones past it (0 = unbounded)")
 		retireEv = flag.Duration("retire-every", time.Second, "period of the window retire pass (only with a window flag set)")
+		srvRepl  = flag.Bool("serve-replication", false, "serve the WAL-shipping endpoints under /v1/repl/ (requires -data-dir)")
+		follow   = flag.String("follow", "", "run as a read-only follower of this primary URL")
+		readyLag = flag.Uint64("max-ready-lag", 8, "follower /readyz fails while more than this many versions behind the primary")
+		showVer  = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println("ensemfdetd", versionString())
+		return nil
+	}
 	if *maxNode > ensemfdet.MaxNodeID {
 		return fmt.Errorf("-max-node-id %d exceeds the id space (max %d)", *maxNode, uint64(ensemfdet.MaxNodeID))
 	}
@@ -111,6 +149,27 @@ func run() error {
 	if window.Enabled() && *retireEv <= 0 {
 		return fmt.Errorf("-retire-every must be positive with a window set, got %v", *retireEv)
 	}
+	if *srvRepl && *dataDir == "" {
+		return errors.New("-serve-replication requires -data-dir (the WAL and snapshots are what is shipped)")
+	}
+	if *follow != "" {
+		// A follower's state is the primary's replicated history — flags that
+		// would mutate it locally are wiring mistakes, not configurations.
+		if *srvRepl {
+			return errors.New("-follow and -serve-replication are mutually exclusive (cascading replication is not supported)")
+		}
+		if window.Enabled() {
+			return errors.New("-follow is incompatible with window flags: expiry replicates from the primary as tombstones")
+		}
+		if *load != "" {
+			return errors.New("-follow is incompatible with -load: a follower's edges come from its primary")
+		}
+	}
+
+	// The signal context exists before any boot work so a SIGINT aborts even
+	// a long follower bootstrap download.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	sg := ensemfdet.NewStreamGraphSharded(*shards)
 	log.Printf("ingest sharding: %d shards", sg.NumShards())
@@ -125,6 +184,15 @@ func run() error {
 
 	var store *ensemfdet.PersistStore
 	if *dataDir != "" {
+		if *follow != "" && ensemfdet.ReplNeedsBootstrap(*dataDir) {
+			// No usable local state: ship the primary's snapshot + WAL into
+			// the data dir so the normal recovery below reproduces the
+			// primary's durable state version-exactly.
+			log.Printf("bootstrapping %s from %s", *dataDir, *follow)
+			if err := ensemfdet.ReplDownloadInto(ctx, nil, *follow, *dataDir, log.Printf); err != nil {
+				return err
+			}
+		}
 		// Recover before installing the journal, so replayed batches are
 		// not re-appended to the log they came from.
 		store, err = ensemfdet.OpenPersist(*dataDir, ensemfdet.PersistOptions{
@@ -140,8 +208,32 @@ func run() error {
 		}
 		log.Printf("recovered %s: snapshot version %d (%d edges), replayed %d WAL records (%d edges) → graph version %d (fsync=%s)",
 			*dataDir, rec.SnapshotVersion, rec.SnapshotEdges, rec.ReplayedRecords, rec.ReplayedEdges, rec.Version, fsyncPolicy)
-		sg.SetJournal(store)
+		if *follow == "" {
+			// A follower journals replicated records itself at their explicit
+			// primary versions; the graph-side journal hook would re-stamp
+			// them with local versions.
+			sg.SetJournal(store)
+		}
 		store.SetSource(sg)
+	}
+
+	var follower *ensemfdet.ReplFollower
+	if *follow != "" {
+		follower, err = ensemfdet.NewReplFollower(ensemfdet.ReplFollowerConfig{
+			Primary: *follow,
+			Graph:   sg,
+			Store:   store,
+		})
+		if err != nil {
+			return err
+		}
+		// For a memory-only follower this seeds the graph from the primary's
+		// snapshot; a disk-backed one already recovered and just fetches its
+		// initial lag reference.
+		if err := follower.Bootstrap(ctx); err != nil {
+			return fmt.Errorf("bootstrapping from %s: %w", *follow, err)
+		}
+		log.Printf("following %s from version %d", *follow, sg.Version())
 	}
 
 	engine := ensemfdet.NewDetectEngine(sg, ensemfdet.EngineOptions{
@@ -158,9 +250,54 @@ func run() error {
 		}
 	}
 
+	hcfg := ensemfdet.HTTPHandlerConfig{Version: versionString()}
+	switch {
+	case follower != nil:
+		hcfg.ReadOnly = true
+		hcfg.PrimaryURL = *follow
+		hcfg.Ready = func() (bool, string) { return follower.Ready(*readyLag) }
+		engine.AttachRepl(func() *ensemfdet.ReplStats {
+			fs := follower.Stats()
+			ready, _ := follower.Ready(*readyLag)
+			return &ensemfdet.ReplStats{
+				Role:              "follower",
+				Primary:           fs.Primary,
+				PrimaryVersion:    fs.PrimaryVersion,
+				AppliedVersion:    fs.AppliedVersion,
+				VersionsBehind:    fs.VersionsBehind,
+				SecondsBehind:     fs.SecondsBehind,
+				RecordsApplied:    fs.RecordsApplied,
+				TombstonesApplied: fs.TombstonesApplied,
+				Resyncs:           fs.Resyncs,
+				Reconnects:        fs.Reconnects,
+				JournalErrors:     fs.JournalErrors,
+				Ready:             ready,
+				BytesShipped:      fs.BytesShipped,
+			}
+		})
+	case *srvRepl:
+		primary := ensemfdet.NewReplPrimary(ensemfdet.ReplPrimaryConfig{
+			Store:   store,
+			Version: sg.Version,
+		})
+		hcfg.Repl = primary.Handler()
+		engine.AttachRepl(func() *ensemfdet.ReplStats {
+			ps := primary.Stats()
+			return &ensemfdet.ReplStats{
+				Role:         "primary",
+				Ready:        true,
+				BytesShipped: ps.TailBytes + ps.FileBytes,
+				TailRequests: ps.TailRequests,
+				TailRecords:  ps.TailRecords,
+				FilesShipped: ps.FilesShipped,
+			}
+		})
+		log.Printf("serving replication under /v1/repl/")
+	}
+
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: logRequests(ensemfdet.NewHTTPHandler(engine)),
+		Handler: logRequests(ensemfdet.NewHTTPHandlerWith(engine, hcfg)),
 		// ReadTimeout bounds the whole request read so a client trickling
 		// a body cannot pin a goroutine forever; it does not limit handler
 		// execution, so long cold detections are unaffected (WriteTimeout
@@ -170,8 +307,14 @@ func run() error {
 		IdleTimeout:       2 * time.Minute,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
+	var tailDone chan struct{}
+	if follower != nil {
+		tailDone = make(chan struct{})
+		go func() {
+			defer close(tailDone)
+			follower.Run(ctx)
+		}()
+	}
 
 	var retireDone chan struct{}
 	if window.Enabled() {
@@ -222,12 +365,15 @@ func run() error {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
-	// The server has drained; join the retire ticker (its context is already
-	// canceled, but an in-flight pass must land its tombstone before the
-	// WAL closes), then flush a final snapshot and close the WAL so the
-	// next boot recovers without replay.
+	// The server has drained; join the retire ticker and the replication
+	// tailer (their context is already canceled, but an in-flight pass or
+	// apply must land its record before the WAL closes), then flush a final
+	// snapshot and close the WAL so the next boot recovers without replay.
 	if retireDone != nil {
 		<-retireDone
+	}
+	if tailDone != nil {
+		<-tailDone
 	}
 	if err := engine.Close(); err != nil {
 		return fmt.Errorf("flushing persistence: %w", err)

@@ -22,6 +22,7 @@
 package ensemfdet
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -32,6 +33,7 @@ import (
 	"ensemfdet/internal/density"
 	"ensemfdet/internal/fdet"
 	"ensemfdet/internal/persist"
+	"ensemfdet/internal/replicate"
 	"ensemfdet/internal/sampling"
 	"ensemfdet/internal/serve"
 	"ensemfdet/internal/stream"
@@ -341,6 +343,20 @@ func NewDetectEngine(src *StreamGraph, opts EngineOptions) *DetectEngine {
 // POST /v1/detect, GET /v1/votes, GET /v1/stats, GET /healthz) over e.
 func NewHTTPHandler(e *DetectEngine) http.Handler { return serve.NewHandler(e) }
 
+// HTTPHandlerConfig shapes the HTTP surface by role: read-only mode with a
+// primary pointer (the follower's write guard), a mounted replication
+// handler, a /readyz gate, and a build version for /metrics.
+type HTTPHandlerConfig = serve.HandlerConfig
+
+// NewHTTPHandlerWith returns the ensemfdetd HTTP API over e shaped by cfg.
+func NewHTTPHandlerWith(e *DetectEngine, cfg HTTPHandlerConfig) http.Handler {
+	return serve.NewHandlerWith(e, cfg)
+}
+
+// ReplStats is the replication section of EngineStats (/v1/stats "repl"),
+// populated via DetectEngine.AttachRepl.
+type ReplStats = serve.ReplStats
+
 // --- durability layer ---
 
 // ErrNodeIDRange tags errors caused by a node id above a configured bound —
@@ -384,4 +400,53 @@ func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return persist.ParseFsync
 // Call Recover on the result to load the state into a StreamGraph.
 func OpenPersist(dir string, opts PersistOptions) (*PersistStore, error) {
 	return persist.Open(dir, opts)
+}
+
+// --- replication layer ---
+//
+// WAL-shipping replication turns one durable daemon into a primary that any
+// number of read-only followers track: the primary serves its snapshot +
+// WAL over HTTP (GET /v1/repl/..., behind -serve-replication), a follower
+// bootstraps from them and then tails the log continuously, applying each
+// record at its exact version so its graph — and therefore its votes — are
+// byte-identical to the primary's at every version. See cmd/ensemfdetd's
+// -follow flag for the daemon wiring.
+
+// ReplPrimary serves the replication shipping endpoints over a PersistStore.
+type ReplPrimary = replicate.Primary
+
+// ReplPrimaryConfig configures the shipping side.
+type ReplPrimaryConfig = replicate.PrimaryConfig
+
+// ReplPrimaryStats reports shipping counters.
+type ReplPrimaryStats = replicate.PrimaryStats
+
+// NewReplPrimary returns the shipping half; mount its Handler via
+// HTTPHandlerConfig.Repl.
+func NewReplPrimary(cfg ReplPrimaryConfig) *ReplPrimary { return replicate.NewPrimary(cfg) }
+
+// ReplFollower replicates a primary's state into a local StreamGraph.
+type ReplFollower = replicate.Follower
+
+// ReplFollowerConfig configures the tailing side.
+type ReplFollowerConfig = replicate.FollowerConfig
+
+// ReplFollowerStats reports lag and apply counters.
+type ReplFollowerStats = replicate.FollowerStats
+
+// NewReplFollower validates the primary URL and returns a follower ready to
+// Bootstrap and Run.
+func NewReplFollower(cfg ReplFollowerConfig) (*ReplFollower, error) {
+	return replicate.NewFollower(cfg)
+}
+
+// ReplNeedsBootstrap reports whether a follower data directory needs a fresh
+// download (no recoverable state, or an interrupted earlier bootstrap).
+func ReplNeedsBootstrap(dir string) bool { return replicate.NeedsBootstrap(dir) }
+
+// ReplDownloadInto ships the primary's snapshot and WAL segments into
+// dataDir so a normal OpenPersist + Recover reproduces the primary's durable
+// state. client and logf may be nil.
+func ReplDownloadInto(ctx context.Context, client *http.Client, primary, dataDir string, logf func(string, ...any)) error {
+	return replicate.DownloadInto(ctx, client, primary, dataDir, logf)
 }

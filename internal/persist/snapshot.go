@@ -114,14 +114,20 @@ func readSnapshotFile(path string) (g *bipartite.Graph, version uint64, mark str
 		return nil, 0, mark, 0, fmt.Errorf("persist: opening snapshot: %w", err)
 	}
 	defer f.Close()
-	br := bufio.NewReaderSize(f, 1<<20)
+	return decodeSnapshot(f, filepath.Base(path))
+}
+
+// decodeSnapshot reads one snapshot of either format from r; label names the
+// source in errors (a file's base name, or "stream" for a shipped body).
+func decodeSnapshot(r io.Reader, label string) (g *bipartite.Graph, version uint64, mark stream.WindowMark, writtenAt int64, err error) {
+	br := bufio.NewReaderSize(r, 1<<20)
 
 	var pre [12]byte // magic + format: enough to select the header shape
 	if _, err := io.ReadFull(br, pre[:]); err != nil {
 		return nil, 0, mark, 0, fmt.Errorf("persist: reading snapshot header: %w", err)
 	}
 	if [8]byte(pre[:8]) != snapMagic {
-		return nil, 0, mark, 0, fmt.Errorf("persist: snapshot %s: bad magic", filepath.Base(path))
+		return nil, 0, mark, 0, fmt.Errorf("persist: snapshot %s: bad magic", label)
 	}
 	format := binary.LittleEndian.Uint32(pre[8:])
 	var hdrLen int
@@ -131,7 +137,7 @@ func readSnapshotFile(path string) (g *bipartite.Graph, version uint64, mark str
 	case snapFormatV2:
 		hdrLen = 44 // + watermark version, watermark wall, written-at
 	default:
-		return nil, 0, mark, 0, fmt.Errorf("persist: snapshot %s: unsupported format %d", filepath.Base(path), format)
+		return nil, 0, mark, 0, fmt.Errorf("persist: snapshot %s: unsupported format %d", label, format)
 	}
 	hdr := make([]byte, hdrLen+4)
 	copy(hdr, pre[:])
@@ -139,7 +145,7 @@ func readSnapshotFile(path string) (g *bipartite.Graph, version uint64, mark str
 		return nil, 0, mark, 0, fmt.Errorf("persist: reading snapshot header: %w", err)
 	}
 	if crc32.Checksum(hdr[:hdrLen], castagnoli) != binary.LittleEndian.Uint32(hdr[hdrLen:]) {
-		return nil, 0, mark, 0, fmt.Errorf("persist: snapshot %s: header checksum mismatch", filepath.Base(path))
+		return nil, 0, mark, 0, fmt.Errorf("persist: snapshot %s: header checksum mismatch", label)
 	}
 	version = binary.LittleEndian.Uint64(hdr[12:])
 	if format == snapFormatV2 {
@@ -149,7 +155,7 @@ func readSnapshotFile(path string) (g *bipartite.Graph, version uint64, mark str
 	}
 	g, err = bipartite.ReadCSR(br)
 	if err != nil {
-		return nil, 0, mark, 0, fmt.Errorf("persist: snapshot %s: %w", filepath.Base(path), err)
+		return nil, 0, mark, 0, fmt.Errorf("persist: snapshot %s: %w", label, err)
 	}
 	return g, version, mark, writtenAt, nil
 }

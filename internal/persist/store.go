@@ -141,6 +141,10 @@ func (s *Store) Recover(g *stream.Graph) (RecoveryStats, error) {
 		}
 		rec.WindowMark = snapMark
 		s.snapVersion.Store(rec.SnapshotVersion)
+		// The WAL is only guaranteed to reach back to this snapshot: records
+		// it covers may already be gone from disk, so a replication tail may
+		// not start below it.
+		s.wal.setFloor(rec.SnapshotVersion)
 	}
 
 	// Replay the tail in version order: each record re-adds exactly the

@@ -110,6 +110,14 @@ type wal struct {
 	f      *os.File
 	buf    []byte // record encode scratch
 
+	// floor is the truncation watermark: records at or below it may have
+	// been deleted or compacted away, so a replication tail may only start
+	// at or above it (TailSince returns ErrTailGone below). It rises when a
+	// snapshot truncates the log, and recovery seeds it with the recovered
+	// snapshot's version — the log is never guaranteed to reach further
+	// back than that.
+	floor uint64
+
 	// tainted is set when a record write or fsync fails: the active
 	// segment's on-disk tail is then unknowable (a partial frame, or pages
 	// the kernel dropped after a failed fsync), so no further record may
@@ -445,6 +453,13 @@ func (w *wal) truncateTo(version uint64) error {
 	if w.f == nil {
 		return fmt.Errorf("persist: WAL is closed")
 	}
+	// Raise the tail floor before touching any file: a replication tail
+	// that would need records this call is about to delete must see the
+	// floor first (both run under mu, so at worst it gets ErrTailGone a
+	// moment early — never a silent version hole).
+	if version > w.floor {
+		w.floor = version
+	}
 	if w.active.records > 0 || w.tainted {
 		if err := w.rotateLocked(); err != nil {
 			return err
@@ -538,6 +553,16 @@ func (w *wal) compactSegmentLocked(seg *segMeta, version uint64) error {
 	}
 	*seg = next
 	return nil
+}
+
+// setFloor raises the tail floor to at least v (recovery seeds it with the
+// recovered snapshot's version; see the field comment).
+func (w *wal) setFloor(v uint64) {
+	w.mu.Lock()
+	if v > w.floor {
+		w.floor = v
+	}
+	w.mu.Unlock()
 }
 
 // sync flushes the active segment to disk regardless of policy.

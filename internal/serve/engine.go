@@ -230,6 +230,10 @@ type Engine struct {
 	// only observes it (Stats, /metrics) and closes it on shutdown — the
 	// write path reaches it through the stream graph's journal hook.
 	persist *persist.Store
+
+	// repl, when attached, reports replication state for Stats and /metrics
+	// (primary shipping counters or follower lag, mapped by the daemon).
+	repl func() *ReplStats
 }
 
 // NewEngine returns an Engine serving detections over src.
@@ -513,6 +517,37 @@ type Stats struct {
 	// Persist reports WAL and snapshot counters when a durability store is
 	// attached; nil for a memory-only daemon.
 	Persist *persist.Stats `json:"persist,omitempty"`
+	// Repl reports replication state when this daemon ships to or follows
+	// another; nil for a standalone daemon.
+	Repl *ReplStats `json:"repl,omitempty"`
+}
+
+// ReplStats is the transport-neutral replication summary for /v1/stats and
+// /metrics; cmd/ensemfdetd maps the replicate package's counters into it so
+// serve stays free of a replicate import. Primary-side fields are zero on a
+// follower and vice versa.
+type ReplStats struct {
+	// Role is "primary" or "follower".
+	Role string `json:"role"`
+	// Follower side.
+	Primary           string  `json:"primary,omitempty"`
+	PrimaryVersion    uint64  `json:"primary_version,omitempty"`
+	AppliedVersion    uint64  `json:"applied_version,omitempty"`
+	VersionsBehind    uint64  `json:"versions_behind"`
+	SecondsBehind     float64 `json:"seconds_behind"`
+	RecordsApplied    uint64  `json:"records_applied,omitempty"`
+	TombstonesApplied uint64  `json:"tombstones_applied,omitempty"`
+	Resyncs           uint64  `json:"resyncs,omitempty"`
+	Reconnects        uint64  `json:"reconnects,omitempty"`
+	JournalErrors     uint64  `json:"journal_errors,omitempty"`
+	Ready             bool    `json:"ready"`
+	// Both sides: bytes shipped over the replication channel (sent for a
+	// primary, received for a follower).
+	BytesShipped uint64 `json:"bytes_shipped"`
+	// Primary side.
+	TailRequests uint64 `json:"tail_requests,omitempty"`
+	TailRecords  uint64 `json:"tail_records,omitempty"`
+	FilesShipped uint64 `json:"files_shipped,omitempty"`
 }
 
 // IngestStats counts what passed through Ingest (the daemon's chokepoint).
@@ -555,8 +590,16 @@ func (e *Engine) Stats() Stats {
 		p := e.persist.Stats()
 		st.Persist = &p
 	}
+	if e.repl != nil {
+		st.Repl = e.repl()
+	}
 	return st
 }
+
+// AttachRepl registers a replication stats source (primary shipping counters
+// or follower lag), surfaced in Stats and /metrics. Attach before serving
+// traffic.
+func (e *Engine) AttachRepl(fn func() *ReplStats) { e.repl = fn }
 
 // AttachPersist registers the durability store backing this engine's graph,
 // surfacing its counters in Stats and /metrics and handing its lifetime to

@@ -30,6 +30,31 @@ const maxBodyBytes = 64 << 20
 // NewHandler returns the daemon's HTTP routing handler over e. It is what
 // cmd/ensemfdetd mounts and what the end-to-end tests boot under httptest.
 func NewHandler(e *Engine) http.Handler {
+	return NewHandlerWith(e, HandlerConfig{})
+}
+
+// HandlerConfig selects the role-dependent parts of the HTTP surface. The
+// zero value is the classic standalone primary.
+type HandlerConfig struct {
+	// ReadOnly rejects every mutating route with 403 — the follower's write
+	// guard. Reads and POST /v1/detect (a read that happens to take a body)
+	// stay open.
+	ReadOnly bool
+	// PrimaryURL, on a read-only daemon, names the primary in rejection
+	// bodies so a misdirected writer knows where to go.
+	PrimaryURL string
+	// Repl, when non-nil, is mounted under GET /v1/repl/ (the replication
+	// shipping endpoints, an http.Handler so serve never imports replicate).
+	Repl http.Handler
+	// Ready gates GET /readyz; nil means ready as soon as the handler is
+	// serving (a primary is ready once recovery built it).
+	Ready func() (bool, string)
+	// Version, when set, is exported as the ensemfdetd_build_info metric.
+	Version string
+}
+
+// NewHandlerWith returns the routing handler over e shaped by cfg.
+func NewHandlerWith(e *Engine, cfg HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/edges", func(w http.ResponseWriter, r *http.Request) { handleEdges(e, w, r) })
 	mux.HandleFunc("POST /v1/detect", func(w http.ResponseWriter, r *http.Request) { handleDetect(e, w, r) })
@@ -37,11 +62,58 @@ func NewHandler(e *Engine) http.Handler {
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, e.Stats())
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) { handleMetrics(e, w, r) })
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		handleMetrics(e, cfg.Version, w, r)
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Ready != nil {
+			if ok, reason := cfg.Ready(); !ok {
+				writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "unavailable", "reason": reason})
+				return
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	if cfg.Repl != nil {
+		mux.Handle("GET /v1/repl/", cfg.Repl)
+	}
+	if cfg.ReadOnly {
+		return readOnlyGuard(mux, cfg.PrimaryURL)
+	}
 	return mux
+}
+
+// readOnlyGuard is the follower's write guard: every non-read method is
+// rejected before routing — including mutating routes added in the future,
+// which is why this is a method filter and not a per-route check — except
+// POST /v1/detect, a read that carries its parameters in a body. The 403
+// body names the primary so a misdirected writer can redirect itself.
+func readOnlyGuard(next http.Handler, primaryURL string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet, http.MethodHead, http.MethodOptions:
+		case http.MethodPost:
+			if r.URL.Path != "/v1/detect" {
+				rejectWrite(w, primaryURL)
+				return
+			}
+		default:
+			rejectWrite(w, primaryURL)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+func rejectWrite(w http.ResponseWriter, primaryURL string) {
+	body := map[string]string{"error": "this daemon is a read-only replica; write to the primary"}
+	if primaryURL != "" {
+		body["primary"] = primaryURL
+	}
+	writeJSON(w, http.StatusForbidden, body)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -12,7 +12,7 @@ import (
 // scrape never takes the cache lock for more than the entry count and never
 // touches a snapshot — so aggressive scrape intervals cannot perturb the
 // serving path.
-func handleMetrics(e *Engine, w http.ResponseWriter, _ *http.Request) {
+func handleMetrics(e *Engine, version string, w http.ResponseWriter, _ *http.Request) {
 	st := e.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 
@@ -21,6 +21,12 @@ func handleMetrics(e *Engine, w http.ResponseWriter, _ *http.Request) {
 	}
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	if version != "" {
+		const bi = "ensemfdetd_build_info"
+		fmt.Fprintf(w, "# HELP %s Build information for this daemon, value always 1.\n# TYPE %s gauge\n", bi, bi)
+		fmt.Fprintf(w, "%s{version=%q} 1\n", bi, version)
 	}
 
 	counter("ensemfdetd_ingest_batches_total", "Edge batches accepted by the ingest endpoint.", st.IngestStats.Batches)
@@ -79,6 +85,32 @@ func handleMetrics(e *Engine, w http.ResponseWriter, _ *http.Request) {
 		gauge("ensemfdetd_persist_snapshot_version", "Graph version of the newest durable snapshot.", int64(p.SnapshotVersion))
 		gauge("ensemfdetd_persist_wal_bytes_since_snapshot", "WAL growth past the newest snapshot (snapshot trigger input).", p.BytesSinceSnapshot)
 		gauge("ensemfdetd_persist_wal_gap_version", "Non-zero when ingest is degraded by a WAL failure; heals at the next covering snapshot.", int64(p.WALGapVersion))
+	}
+	if rp := st.Repl; rp != nil {
+		const role = "ensemfdetd_repl_role"
+		fmt.Fprintf(w, "# HELP %s Replication role of this daemon, value always 1.\n# TYPE %s gauge\n", role, role)
+		fmt.Fprintf(w, "%s{role=%q} 1\n", role, rp.Role)
+		counter("ensemfdetd_repl_bytes_shipped_total", "Bytes shipped over the replication channel (sent by a primary, received by a follower).", rp.BytesShipped)
+		if rp.Role == "primary" {
+			counter("ensemfdetd_repl_tail_requests_total", "Tail requests answered for followers.", rp.TailRequests)
+			counter("ensemfdetd_repl_tail_records_total", "WAL records shipped through the tail endpoint.", rp.TailRecords)
+			counter("ensemfdetd_repl_files_shipped_total", "Snapshot and segment files shipped to bootstrapping followers.", rp.FilesShipped)
+		} else {
+			gauge("ensemfdetd_repl_versions_behind", "Graph versions this follower lags its primary by.", int64(rp.VersionsBehind))
+			const sb = "ensemfdetd_repl_seconds_behind"
+			fmt.Fprintf(w, "# HELP %s Seconds this follower has spent behind its primary (0 when caught up).\n# TYPE %s gauge\n%s %s\n",
+				sb, sb, sb, formatSeconds(rp.SecondsBehind))
+			counter("ensemfdetd_repl_records_applied_total", "Replicated WAL records applied to the local graph.", rp.RecordsApplied)
+			counter("ensemfdetd_repl_tombstones_applied_total", "Replicated tombstone records applied to the local graph.", rp.TombstonesApplied)
+			counter("ensemfdetd_repl_resyncs_total", "Snapshot resyncs after the primary truncated past this follower.", rp.Resyncs)
+			counter("ensemfdetd_repl_reconnects_total", "Tail stream breaks that triggered a reconnect.", rp.Reconnects)
+			counter("ensemfdetd_repl_journal_errors_total", "Replicated records that failed to reach the local WAL.", rp.JournalErrors)
+			ready := int64(0)
+			if rp.Ready {
+				ready = 1
+			}
+			gauge("ensemfdetd_repl_ready", "Whether this follower currently passes its readiness lag gate.", ready)
+		}
 	}
 }
 
