@@ -20,6 +20,8 @@
 //	GET  /healthz                                       liveness
 //	GET  /readyz                                        readiness (recovery done; follower lag within bound)
 //	GET  /v1/repl/...                                   WAL shipping (only with -serve-replication)
+//	POST /v1/admin/promote                              promote this follower to primary (durable followers)
+//	POST /v1/admin/follow    {"primary": url}           re-point this follower at a new primary
 //
 // Detection results are cached per (graph version, config): sweeping the
 // vote threshold T, re-querying, or ranking against an unchanged graph
@@ -60,6 +62,19 @@
 // with 403, report ready on /readyz only while within -max-ready-lag
 // versions of the primary, and expose lag in /v1/stats and
 // ensemfdetd_repl_* metrics.
+//
+// Failover is epoch-fenced. A durable follower can be promoted at runtime
+// (POST /v1/admin/promote): it stops tailing, fsyncs the next epoch (term)
+// number with write ownership, and starts accepting ingest and serving
+// /v1/repl/ itself. Other followers are re-pointed at the new primary with
+// POST /v1/admin/follow; the epoch machinery reconciles histories across the
+// transition. Every replication exchange carries the epoch both ways, so a
+// deposed primary that hears a higher term — from a follower's request, or
+// from its own data dir on reboot — durably drops write ownership and
+// rejects ingest with 409 naming the ruling epoch; it keeps serving reads
+// and replication so the new primary's followers can still chain through a
+// reboot. During the promote window the node reports not-ready on /readyz.
+// See the README's Failover section for the runbook.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests for up to -drain seconds, then flushing a final snapshot.
@@ -217,25 +232,6 @@ func run() error {
 		store.SetSource(sg)
 	}
 
-	var follower *ensemfdet.ReplFollower
-	if *follow != "" {
-		follower, err = ensemfdet.NewReplFollower(ensemfdet.ReplFollowerConfig{
-			Primary: *follow,
-			Graph:   sg,
-			Store:   store,
-		})
-		if err != nil {
-			return err
-		}
-		// For a memory-only follower this seeds the graph from the primary's
-		// snapshot; a disk-backed one already recovered and just fetches its
-		// initial lag reference.
-		if err := follower.Bootstrap(ctx); err != nil {
-			return fmt.Errorf("bootstrapping from %s: %w", *follow, err)
-		}
-		log.Printf("following %s from version %d", *follow, sg.Version())
-	}
-
 	engine := ensemfdet.NewDetectEngine(sg, ensemfdet.EngineOptions{
 		MaxConcurrent:   *maxConc,
 		MaxCacheEntries: *cacheCap,
@@ -244,15 +240,60 @@ func run() error {
 	if store != nil {
 		engine.AttachPersist(store)
 	}
-	if *load != "" {
-		if err := loadEdges(engine, *load); err != nil {
-			return err
-		}
-	}
 
 	hcfg := ensemfdet.HTTPHandlerConfig{Version: versionString()}
+	var (
+		follower *ensemfdet.ReplFollower // memory-only follower: plain tailer
+		node     *ensemfdet.ReplNode     // durable follower: failover-capable
+	)
 	switch {
-	case follower != nil:
+	case *follow != "" && store != nil:
+		// A durable follower runs under the failover node so it can be
+		// promoted to primary (POST /v1/admin/promote) or re-pointed at a new
+		// one (POST /v1/admin/follow) without a restart. The read-only guard,
+		// readiness, and the replication surface all track the live role.
+		node, err = ensemfdet.NewReplNode(ensemfdet.ReplNodeConfig{
+			Store:      store,
+			Graph:      sg,
+			MaxLag:     *readyLag,
+			FlushCache: engine.FlushCache,
+		})
+		if err != nil {
+			return err
+		}
+		if epoch, _, owned := store.Epoch(); owned && epoch > 0 {
+			// A promoted primary that crashed and was restarted with its old
+			// -follow flag: the fence fsync made the promotion durable, so the
+			// node resumes the role it won rather than re-bootstrapping against
+			// a primary it already deposed.
+			log.Printf("store owns epoch %d: resuming as primary (ignoring -follow %s)", epoch, *follow)
+			if err := node.BecomePrimary(); err != nil {
+				return err
+			}
+		} else if err := node.Follow(ctx, *follow); err != nil {
+			return err
+		}
+		hcfg.ReadOnlyFn = func() bool { return node.Role() != "primary" }
+		hcfg.PrimaryURLFn = node.PrimaryURL
+		hcfg.Ready = node.Ready
+		hcfg.Repl = node.ReplHandler()
+		hcfg.Admin = node.AdminHandler()
+		engine.AttachRepl(nodeReplStats(node))
+	case *follow != "":
+		// Memory-only follower: nothing durable to fence, so no failover
+		// surface — just the tailer, seeded from the primary's snapshot.
+		follower, err = ensemfdet.NewReplFollower(ensemfdet.ReplFollowerConfig{
+			Primary:    *follow,
+			Graph:      sg,
+			FlushCache: engine.FlushCache,
+		})
+		if err != nil {
+			return err
+		}
+		if err := follower.Bootstrap(ctx); err != nil {
+			return fmt.Errorf("bootstrapping from %s: %w", *follow, err)
+		}
+		log.Printf("following %s from version %d", *follow, sg.Version())
 		hcfg.ReadOnly = true
 		hcfg.PrimaryURL = *follow
 		hcfg.Ready = func() (bool, string) { return follower.Ready(*readyLag) }
@@ -273,9 +314,22 @@ func run() error {
 				JournalErrors:     fs.JournalErrors,
 				Ready:             ready,
 				BytesShipped:      fs.BytesShipped,
+				Epoch:             fs.Epoch,
+				EpochAdopts:       fs.EpochAdopts,
+				EpochResyncs:      fs.EpochResyncs,
+				EpochRejects:      fs.EpochRejects,
+				BackoffSeconds:    fs.BackoffSeconds,
 			}
 		})
 	case *srvRepl:
+		if epoch, _, owned := store.Epoch(); !owned {
+			// The data dir says a higher term exists: this process was deposed
+			// (or cloned from a deposed primary). It still serves reads and
+			// replication, but every ingest will be refused with 409 — make
+			// the operator's next step unmissable.
+			log.Printf("WARNING: store is FENCED at epoch %d — a newer primary owns this timeline; "+
+				"ingest is rejected. Restart with -follow <new-primary> to rejoin.", epoch)
+		}
 		primary := ensemfdet.NewReplPrimary(ensemfdet.ReplPrimaryConfig{
 			Store:   store,
 			Version: sg.Version,
@@ -283,6 +337,7 @@ func run() error {
 		hcfg.Repl = primary.Handler()
 		engine.AttachRepl(func() *ensemfdet.ReplStats {
 			ps := primary.Stats()
+			epoch, _, owned := store.Epoch()
 			return &ensemfdet.ReplStats{
 				Role:         "primary",
 				Ready:        true,
@@ -290,9 +345,18 @@ func run() error {
 				TailRequests: ps.TailRequests,
 				TailRecords:  ps.TailRecords,
 				FilesShipped: ps.FilesShipped,
+				Epoch:        epoch,
+				Fenced:       !owned,
+				EpochFences:  ps.EpochFences,
 			}
 		})
 		log.Printf("serving replication under /v1/repl/")
+	}
+
+	if *load != "" {
+		if err := loadEdges(engine, *load); err != nil {
+			return err
+		}
 	}
 
 	srv := &http.Server{
@@ -375,6 +439,11 @@ func run() error {
 	if tailDone != nil {
 		<-tailDone
 	}
+	if node != nil {
+		// The failover node owns its tail goroutine; Close cancels and joins
+		// it for the same land-before-WAL-close reason as tailDone above.
+		node.Close()
+	}
 	if err := engine.Close(); err != nil {
 		return fmt.Errorf("flushing persistence: %w", err)
 	}
@@ -402,6 +471,50 @@ func loadEdges(engine *ensemfdet.DetectEngine, path string) error {
 		return fmt.Errorf("%w (see -max-node-id)", err)
 	}
 	return err
+}
+
+// nodeReplStats adapts the failover node's role-dependent counters to the
+// /v1/stats and /metrics shape. Promotions survive the role flip: the stats
+// of the follower half are reported while tailing, the primary half's after
+// a promote, and the epoch and promotion count in both.
+func nodeReplStats(node *ensemfdet.ReplNode) func() *ensemfdet.ReplStats {
+	return func() *ensemfdet.ReplStats {
+		ready, _ := node.Ready()
+		rs := &ensemfdet.ReplStats{
+			Role:       node.Role(),
+			Epoch:      node.Epoch(),
+			Promotions: node.Promotions(),
+			Ready:      ready,
+		}
+		if p := node.Primary(); p != nil {
+			ps := p.Stats()
+			rs.BytesShipped = ps.TailBytes + ps.FileBytes
+			rs.TailRequests = ps.TailRequests
+			rs.TailRecords = ps.TailRecords
+			rs.FilesShipped = ps.FilesShipped
+			rs.EpochFences = ps.EpochFences
+			return rs
+		}
+		if f := node.Follower(); f != nil {
+			fs := f.Stats()
+			rs.Primary = fs.Primary
+			rs.PrimaryVersion = fs.PrimaryVersion
+			rs.AppliedVersion = fs.AppliedVersion
+			rs.VersionsBehind = fs.VersionsBehind
+			rs.SecondsBehind = fs.SecondsBehind
+			rs.RecordsApplied = fs.RecordsApplied
+			rs.TombstonesApplied = fs.TombstonesApplied
+			rs.Resyncs = fs.Resyncs
+			rs.Reconnects = fs.Reconnects
+			rs.JournalErrors = fs.JournalErrors
+			rs.BytesShipped = fs.BytesShipped
+			rs.EpochAdopts = fs.EpochAdopts
+			rs.EpochResyncs = fs.EpochResyncs
+			rs.EpochRejects = fs.EpochRejects
+			rs.BackoffSeconds = fs.BackoffSeconds
+		}
+		return rs
+	}
 }
 
 // logRequests is a minimal access log; the daemon has no other middleware.

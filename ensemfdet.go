@@ -450,3 +450,56 @@ func ReplNeedsBootstrap(dir string) bool { return replicate.NeedsBootstrap(dir) 
 func ReplDownloadInto(ctx context.Context, client *http.Client, primary, dataDir string, logf func(string, ...any)) error {
 	return replicate.DownloadInto(ctx, client, primary, dataDir, logf)
 }
+
+// --- failover layer ---
+//
+// Epoch-fenced failover promotes a follower to primary without a
+// coordinator: every durable node carries a monotonic epoch (term) number in
+// a fsynced fence file, in its snapshot headers, and as fence records in the
+// WAL. POST /v1/admin/promote on a follower stops its tail, fsyncs the next
+// epoch with write ownership, and starts serving ingest and replication;
+// every replication exchange carries the epoch both ways, so a deposed
+// primary observing a higher term durably drops write ownership (ingest
+// answers 409 naming the ruling epoch) and followers of the old timeline
+// converge onto the new one through an epoch-boundary resync. See the
+// README's Failover section for the runbook.
+
+// ReplNode is the failover role manager: a daemon node that starts as a
+// follower, can be promoted to primary at runtime, and can be re-pointed at
+// a different primary. Mount its ReplHandler and AdminHandler via
+// HTTPHandlerConfig.
+type ReplNode = replicate.Node
+
+// ReplNodeConfig wires a ReplNode's store, graph, and tuning.
+type ReplNodeConfig = replicate.NodeConfig
+
+// NewReplNode validates the wiring and returns a node with no role yet; call
+// Follow (or Promote/BecomePrimary) to give it one.
+func NewReplNode(cfg ReplNodeConfig) (*ReplNode, error) { return replicate.NewNode(cfg) }
+
+// EpochAction is the follower-side classification of a replication response
+// whose epoch differs from the local one; ClassifyEpoch computes it.
+type EpochAction = replicate.EpochAction
+
+// The possible classifications; see replicate.ClassifyEpoch.
+const (
+	EpochOK     = replicate.EpochOK
+	EpochStale  = replicate.EpochStale
+	EpochAdopt  = replicate.EpochAdopt
+	EpochResync = replicate.EpochResync
+)
+
+// ClassifyEpoch decides what a follower must do with a response from a node
+// in a different failover term.
+func ClassifyEpoch(localEpoch, respEpoch, localVersion, epochStart uint64) EpochAction {
+	return replicate.ClassifyEpoch(localEpoch, respEpoch, localVersion, epochStart)
+}
+
+// ErrWALDegraded tags ingest failures caused by a WAL that is rejecting
+// writes until a covering snapshot heals it — the HTTP layer maps it to 503
+// with Retry-After. ErrFenced tags writes rejected because the store's epoch
+// is owned by another primary (this node was deposed) — mapped to 409.
+var (
+	ErrWALDegraded = persist.ErrDegraded
+	ErrFenced      = persist.ErrFenced
+)

@@ -1,0 +1,181 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCheckSemantics pins the Rule knobs one at a time: always-fire,
+// skip-the-first-After, cap-at-Count, and the custom error passthrough.
+func TestCheckSemantics(t *testing.T) {
+	in := New(1)
+
+	in.Arm("always", Rule{})
+	for i := 0; i < 3; i++ {
+		if err := in.Check("always"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("check %d of an empty rule: %v, want ErrInjected", i, err)
+		}
+	}
+	if got := in.Hits("always"); got != 3 {
+		t.Fatalf("hits = %d, want 3", got)
+	}
+
+	in.Arm("after", Rule{After: 2})
+	fired := 0
+	for i := 0; i < 5; i++ {
+		if in.Check("after") != nil {
+			if i < 2 {
+				t.Fatalf("After=2 rule fired on check %d", i)
+			}
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("After=2 rule fired %d of 5 checks, want 3", fired)
+	}
+
+	in.Arm("capped", Rule{Count: 2})
+	fired = 0
+	for i := 0; i < 5; i++ {
+		if in.Check("capped") != nil {
+			fired++
+		}
+	}
+	if fired != 2 || in.Hits("capped") != 2 {
+		t.Fatalf("Count=2 rule fired %d (hits %d), want 2", fired, in.Hits("capped"))
+	}
+
+	sentinel := errors.New("boom")
+	in.Arm("custom", Rule{Err: sentinel})
+	if err := in.Check("custom"); !errors.Is(err, sentinel) {
+		t.Fatalf("custom error: %v, want the sentinel", err)
+	}
+
+	if err := in.Check("unarmed"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+	in.Disarm("capped")
+	if err := in.Check("capped"); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+	if in.Hits("capped") != 2 {
+		t.Fatal("disarm erased the hit count")
+	}
+}
+
+// TestProbIsSeedDeterministic is the replayability guarantee: two injectors
+// with the same seed make the identical sequence of probabilistic decisions,
+// and a different seed diverges — a failing drill replays byte-identically.
+func TestProbIsSeedDeterministic(t *testing.T) {
+	sequence := func(seed int64) string {
+		in := New(seed)
+		in.Arm("p", Rule{Prob: 0.5})
+		var b strings.Builder
+		for i := 0; i < 64; i++ {
+			if in.Check("p") != nil {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		return b.String()
+	}
+	a, b := sequence(42), sequence(42)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	if !strings.Contains(a, "1") || !strings.Contains(a, "0") {
+		t.Fatalf("Prob=0.5 produced a degenerate sequence %s", a)
+	}
+	if c := sequence(43); c == a {
+		t.Fatal("different seeds produced the identical sequence")
+	}
+}
+
+// TestNilInjectorIsInert pins the production contract: every method on a nil
+// *Injector is a safe no-op, so un-drilled builds pay no conditional at the
+// injection points.
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	in.Arm("x", Rule{})
+	in.Disarm("x")
+	if err := in.Check("x"); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	if in.Hits("x") != 0 {
+		t.Fatal("nil injector counted a hit")
+	}
+}
+
+// TestTransportFaults drives the three HTTP fault modes through a real
+// round-trip: a drop never reaches the server, a delay does but late, and a
+// torn body fails mid-read with ErrInjected rather than a clean EOF.
+func TestTransportFaults(t *testing.T) {
+	const body = "0123456789abcdef0123456789abcdef" // 32 bytes, > TornAfter below
+	var served int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+		io.WriteString(w, body)
+	}))
+	defer srv.Close()
+
+	in := New(7)
+	client := &http.Client{Transport: &Transport{
+		Inj:       in,
+		Delay:     20 * time.Millisecond,
+		TornAfter: 8,
+	}}
+
+	// Unarmed: a clean pass-through.
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || string(got) != body {
+		t.Fatalf("clean exchange: %q, %v", got, err)
+	}
+
+	in.Arm(PointHTTPDrop, Rule{Count: 1})
+	if _, err := client.Get(srv.URL); err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("dropped exchange: %v, want ErrInjected", err)
+	}
+	if served != 1 {
+		t.Fatalf("dropped request reached the server (%d exchanges served)", served)
+	}
+
+	in.Arm(PointHTTPDelay, Rule{Count: 1})
+	start := time.Now()
+	resp, err = client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("delayed exchange finished in %v, want >= 20ms", d)
+	}
+
+	in.Arm(PointHTTPTorn, Rule{Count: 1})
+	resp, err = client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn body read error: %v, want ErrInjected", err)
+	}
+	if len(got) > 8 {
+		t.Fatalf("torn body delivered %d bytes, want <= 8", len(got))
+	}
+	if in.Hits(PointHTTPTorn) != 1 {
+		t.Fatalf("torn hits = %d, want 1", in.Hits(PointHTTPTorn))
+	}
+}

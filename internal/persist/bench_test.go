@@ -25,7 +25,7 @@ func benchGraph(edges int) *bipartite.Graph {
 func BenchmarkWALAppend(b *testing.B) {
 	const batch = 256
 	edges := edgesN(0, batch)
-	w, _, _, err := openWAL(b.TempDir(), defaultSegmentBytes, false, b.Logf)
+	w, _, _, err := openWAL(b.TempDir(), defaultSegmentBytes, false, b.Logf, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func BenchmarkWALAppend(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := w.append(recEdges, uint64(i+1), edges, stream.WindowMark{}); err != nil {
+		if _, err := w.append(walRecord{kind: recEdges, version: uint64(i + 1), edges: edges}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -45,7 +45,7 @@ func BenchmarkWALAppend(b *testing.B) {
 func BenchmarkWALAppendFsync(b *testing.B) {
 	const batch = 256
 	edges := edgesN(0, batch)
-	w, _, _, err := openWAL(b.TempDir(), defaultSegmentBytes, true, b.Logf)
+	w, _, _, err := openWAL(b.TempDir(), defaultSegmentBytes, true, b.Logf, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func BenchmarkWALAppendFsync(b *testing.B) {
 	b.SetBytes(int64(walFrameBytes + 16 + 8*batch)) // v2 edge-record framing
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := w.append(recEdges, uint64(i+1), edges, stream.WindowMark{}); err != nil {
+		if _, err := w.append(walRecord{kind: recEdges, version: uint64(i + 1), edges: edges}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,113 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Epoch fence file, little-endian. The fence is the durable half of failover:
+// it records the highest epoch (term) this data directory has observed and
+// whether this node owns it — i.e. whether local ingest may acknowledge
+// writes under it. A promote fsyncs {epoch, owned: true} before the first
+// write of the new term is acknowledged; a node that observes a higher epoch
+// from anyone fsyncs {epoch, owned: false} and fail-stops ingest, which is
+// what keeps a deposed primary fenced across its own reboots.
+//
+//	[8]byte  magic "EFDFENCE"
+//	uint32   format version (1)
+//	uint64   epoch
+//	uint64   epoch start version (first graph version of the epoch; 0 unknown)
+//	uint8    owned (1 = local ingest may acknowledge writes in this epoch)
+//	uint32   crc32c over the 29 bytes above
+//
+// A missing fence file means the directory predates failover: epoch 0,
+// owned — exactly the pre-epoch single-primary behaviour.
+
+var fenceMagic = [8]byte{'E', 'F', 'D', 'F', 'E', 'N', 'C', 'E'}
+
+const (
+	fenceFormatV1 = uint32(1)
+	fenceHdrBytes = 8 + 4 + 8 + 8 + 1
+	fenceFileName = "fence"
+)
+
+// fenceState is the decoded fence file.
+type fenceState struct {
+	epoch uint64
+	start uint64
+	owned bool
+}
+
+// writeFenceFile durably publishes fs under dir (tmp → fsync → rename →
+// dir fsync). inject, when non-nil, is consulted at "fence.write" before any
+// byte lands — the promote crash-point drills hang off it.
+func writeFenceFile(dir string, fs fenceState, inject func(string) error) error {
+	if inject != nil {
+		if err := inject("fence.write"); err != nil {
+			return fmt.Errorf("persist: fence write: %w", err)
+		}
+	}
+	var buf [fenceHdrBytes + 4]byte
+	copy(buf[:8], fenceMagic[:])
+	binary.LittleEndian.PutUint32(buf[8:], fenceFormatV1)
+	binary.LittleEndian.PutUint64(buf[12:], fs.epoch)
+	binary.LittleEndian.PutUint64(buf[20:], fs.start)
+	if fs.owned {
+		buf[28] = 1
+	}
+	binary.LittleEndian.PutUint32(buf[fenceHdrBytes:], crc32.Checksum(buf[:fenceHdrBytes], castagnoli))
+
+	path := filepath.Join(dir, fenceFileName)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: creating fence file: %w", err)
+	}
+	defer os.Remove(tmp) // no-op after the rename succeeds
+	_, err = f.Write(buf[:])
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("persist: writing fence file: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("persist: publishing fence file: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("persist: syncing fence dir: %w", err)
+	}
+	return nil
+}
+
+// readFenceFile loads the fence under dir. ok is false when no fence file
+// exists (a pre-epoch directory). A corrupt fence is an error, not a silent
+// epoch-0: acting as an owner on garbage could fork acknowledged history.
+func readFenceFile(dir string) (fs fenceState, ok bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, fenceFileName))
+	if os.IsNotExist(err) {
+		return fenceState{}, false, nil
+	}
+	if err != nil {
+		return fenceState{}, false, fmt.Errorf("persist: reading fence file: %w", err)
+	}
+	if len(data) < fenceHdrBytes+4 || [8]byte(data[:8]) != fenceMagic {
+		return fenceState{}, false, fmt.Errorf("persist: fence file: bad magic or truncated")
+	}
+	if format := binary.LittleEndian.Uint32(data[8:]); format != fenceFormatV1 {
+		return fenceState{}, false, fmt.Errorf("persist: fence file: unsupported format %d", format)
+	}
+	if crc32.Checksum(data[:fenceHdrBytes], castagnoli) != binary.LittleEndian.Uint32(data[fenceHdrBytes:]) {
+		return fenceState{}, false, fmt.Errorf("persist: fence file: checksum mismatch")
+	}
+	fs.epoch = binary.LittleEndian.Uint64(data[12:])
+	fs.start = binary.LittleEndian.Uint64(data[20:])
+	fs.owned = data[28] == 1
+	return fs, true, nil
+}

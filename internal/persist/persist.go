@@ -101,6 +101,12 @@ type Options struct {
 	// Logf receives recovery warnings and snapshot progress lines
 	// (nil → log.Printf).
 	Logf func(format string, args ...any)
+	// Inject, when non-nil, is consulted at named fault-injection points
+	// ("wal.write", "wal.fsync", "snap.write", "fence.write") before the
+	// real operation; a non-nil return is treated as that operation having
+	// failed. Drill tests wire internal/faultinject here; production leaves
+	// it nil.
+	Inject func(point string) error
 }
 
 const (
@@ -154,11 +160,21 @@ type RecoveryStats struct {
 	TornTail bool `json:"torn_tail"`
 	// Version is the recovered graph version.
 	Version uint64 `json:"version"`
+	// Epoch is the failover term resolved from the fence file, snapshot
+	// header, and WAL fence records (0 for pre-epoch directories).
+	Epoch uint64 `json:"epoch"`
 }
 
 // Stats is a point-in-time durability summary, surfaced by the daemon's
 // /v1/stats and /metrics endpoints.
 type Stats struct {
+	// Epoch is the failover term this store has observed;
+	// EpochStartVersion is the first graph version of that term (0 when
+	// unknown); EpochOwned reports whether local ingest may acknowledge
+	// writes under it — false on followers and on a deposed primary.
+	Epoch             uint64 `json:"epoch"`
+	EpochStartVersion uint64 `json:"epoch_start_version,omitempty"`
+	EpochOwned        bool   `json:"epoch_owned"`
 	// FsyncPolicy is the configured WAL flush policy.
 	FsyncPolicy string `json:"fsync_policy"`
 	// WALSegments and WALBytes describe the log currently on disk.

@@ -39,6 +39,10 @@ const (
 	// RecordTombstone is a retirement/removal; it carries the window
 	// watermark its pass reached.
 	RecordTombstone = recTombstone
+	// RecordEpochFence marks the start of a failover term: it carries the
+	// epoch that began at its version and no edges. Tailing followers adopt
+	// the epoch durably when they apply it.
+	RecordEpochFence = recEpochFence
 )
 
 // Record is one replicated WAL record: the unit TailSince ships and a
@@ -47,6 +51,7 @@ type Record struct {
 	Version uint64
 	Kind    uint32
 	Mark    stream.WindowMark // RecordTombstone only
+	Epoch   uint64            // RecordEpochFence only
 	Edges   []bipartite.Edge
 }
 
@@ -54,7 +59,7 @@ type Record struct {
 // payload), the exact byte layout TailSince responses concatenate.
 func EncodeRecordFrame(r Record) []byte {
 	var buf []byte
-	b := encodeRecord(&buf, r.Kind, r.Version, r.Edges, r.Mark)
+	b := encodeRecord(&buf, walRecord{kind: r.Kind, version: r.Version, edges: r.Edges, mark: r.Mark, epoch: r.Epoch})
 	out := make([]byte, len(b))
 	copy(out, b)
 	return out
@@ -68,7 +73,7 @@ func DecodeRecordFrame(data []byte) (Record, int, bool) {
 	if !ok {
 		return Record{}, 0, false
 	}
-	return Record{Version: rec.version, Kind: rec.kind, Mark: rec.mark, Edges: rec.edges}, n, true
+	return Record{Version: rec.version, Kind: rec.kind, Mark: rec.mark, Epoch: rec.epoch, Edges: rec.edges}, n, true
 }
 
 // AppendRecord journals one record at its explicit version — the follower's
@@ -77,15 +82,17 @@ func DecodeRecordFrame(data []byte) (Record, int, bool) {
 // carried on the primary, holes included, or a follower restart would
 // renumber history. The fail-stop gap contract of AppendEdges applies
 // unchanged: a WAL failure degrades the store until a covering snapshot
-// (cut from the follower's graph source) heals it.
+// (cut from the follower's graph source) heals it. Epoch ownership is not
+// checked here — replicas journal the owner's records precisely because
+// they are not the owner.
 func (s *Store) AppendRecord(r Record) error {
-	if r.Kind != RecordEdges && r.Kind != RecordTombstone {
+	if r.Kind != RecordEdges && r.Kind != RecordTombstone && r.Kind != RecordEpochFence {
 		return fmt.Errorf("persist: unknown record kind %d", r.Kind)
 	}
 	if r.Version == 0 {
 		return errors.New("persist: record version must be non-zero")
 	}
-	return s.journalRecord(r.Kind, r.Version, r.Edges, r.Mark)
+	return s.journalRecord(walRecord{kind: r.Kind, version: r.Version, edges: r.Edges, mark: r.Mark, epoch: r.Epoch})
 }
 
 // SegmentInfo describes one shippable WAL segment.
@@ -116,6 +123,13 @@ type SnapshotInfo struct {
 type Manifest struct {
 	Snapshot *SnapshotInfo `json:"snapshot,omitempty"`
 	Segments []SegmentInfo `json:"segments"`
+	// Epoch is the failover term the primary is serving under, and
+	// EpochVersion the first graph version of that term (0 when unknown —
+	// epoch 0, or a term adopted from a header alone). Followers classify
+	// their own history against this pair: a local version at or past
+	// EpochVersion under a lower epoch has forked and must resync.
+	Epoch        uint64 `json:"epoch"`
+	EpochVersion uint64 `json:"epoch_version,omitempty"`
 }
 
 // Manifest returns the current shippable state. The listing is a consistent
@@ -127,7 +141,8 @@ func (s *Store) Manifest() (Manifest, error) {
 	if s.closed.Load() {
 		return Manifest{}, errors.New("persist: store is closed")
 	}
-	m := Manifest{Segments: s.wal.segmentInfos()}
+	epoch, start, _ := s.Epoch()
+	m := Manifest{Segments: s.wal.segmentInfos(), Epoch: epoch, EpochVersion: start}
 	// Retry the size stat a few times: the newest snapshot can be deleted by
 	// an even newer one landing between the listing and the stat.
 	for attempt := 0; attempt < 3; attempt++ {
@@ -330,7 +345,7 @@ func (w *wal) tailSince(from uint64, maxBytes int64) ([]byte, uint64, int, error
 	var last uint64
 	n := 0
 	for _, r := range recs {
-		frame := encodeRecord(&scratch, r.kind, r.version, r.edges, r.mark)
+		frame := encodeRecord(&scratch, r)
 		if n > 0 && int64(len(payload)+len(frame)) > maxBytes {
 			break
 		}
@@ -345,7 +360,7 @@ func (w *wal) tailSince(from uint64, maxBytes int64) ([]byte, uint64, int, error
 // ships — validating its header CRC and the CSR blob's self-checksums. It is
 // the in-memory half of snapshot shipping: a follower without a data
 // directory seeds its graph straight from the response body.
-func DecodeSnapshot(r io.Reader) (g *bipartite.Graph, version uint64, mark stream.WindowMark, writtenAt int64, err error) {
+func DecodeSnapshot(r io.Reader) (g *bipartite.Graph, hdr SnapshotHeader, err error) {
 	return decodeSnapshot(r, "stream")
 }
 

@@ -16,23 +16,27 @@ import (
 
 // Snapshot file layout, little-endian.
 //
-// Format 2 (written by this version):
+// Format 3 (written by this version):
 //
 //	[8]byte  magic "EFDSNAP1"
-//	uint32   format version (2)
+//	uint32   format version (3)
 //	uint64   graph version
 //	uint64   window watermark: version  (stream.WindowMark.Version)
 //	int64    window watermark: wall     (stream.WindowMark.Wall, unix ns)
 //	int64    written-at wall time (unix ns; recovery stamps restored edges)
-//	uint32   crc32c over the 44 header bytes above
+//	uint64   epoch (failover term the snapshot was written under)
+//	uint32   crc32c over the 52 header bytes above
 //	[]byte   bipartite CSR codec blob (self-checksummed)
 //
-// Format 1 (legacy, pre-windowing) lacks the three watermark/time fields;
-// the reader accepts both, reporting a zero watermark for format 1. The
-// watermark is captured atomically with the CSR cut (stream.SnapshotWithMark),
-// so a recovered graph adopts expiry progress consistent with the recovered
-// edge set — combined with WAL tombstone replay for post-snapshot retires,
-// no restart can resurrect an expired edge.
+// Format 2 (pre-failover) lacks the epoch field; format 1 (legacy,
+// pre-windowing) also lacks the three watermark/time fields. The reader
+// accepts all three, reporting zeroes for the absent fields — so a
+// pre-epoch directory recovers into an epoch-aware store without a rewrite.
+// The watermark is captured atomically with the CSR cut
+// (stream.SnapshotWithMark), so a recovered graph adopts expiry progress
+// consistent with the recovered edge set — combined with WAL tombstone
+// replay for post-snapshot retires, no restart can resurrect an expired
+// edge.
 //
 // Files are written to a .tmp sibling, synced, renamed into place, and the
 // directory synced, so a crash mid-write leaves either the old set of
@@ -44,15 +48,30 @@ var snapMagic = [8]byte{'E', 'F', 'D', 'S', 'N', 'A', 'P', '1'}
 const (
 	snapFormatV1 = uint32(1)
 	snapFormatV2 = uint32(2)
+	snapFormatV3 = uint32(3)
 )
+
+// SnapshotHeader is the decoded metadata of one snapshot file or stream.
+// Fields a legacy format lacks are zero.
+type SnapshotHeader struct {
+	// Version is the graph version the snapshot captures.
+	Version uint64
+	// Mark is the window expiry watermark at the cut (formats ≥ 2).
+	Mark stream.WindowMark
+	// WrittenAt is the wall time of the write, unix ns (formats ≥ 2).
+	WrittenAt int64
+	// Epoch is the failover term the snapshot was written under (format 3).
+	Epoch uint64
+}
 
 func snapPath(dir string, version uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("snap-%016x.snap", version))
 }
 
 // writeSnapshotFile durably writes g at the given graph version with its
-// window watermark and removes older snapshots. It returns the final path.
-func writeSnapshotFile(dir string, g *bipartite.Graph, version uint64, mark stream.WindowMark, writtenAt int64) (string, error) {
+// window watermark and epoch, and removes older snapshots. It returns the
+// final path.
+func writeSnapshotFile(dir string, g *bipartite.Graph, version uint64, mark stream.WindowMark, writtenAt int64, epoch uint64) (string, error) {
 	path := snapPath(dir, version)
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
@@ -62,13 +81,14 @@ func writeSnapshotFile(dir string, g *bipartite.Graph, version uint64, mark stre
 	defer os.Remove(tmp) // no-op after the rename succeeds
 
 	bw := bufio.NewWriterSize(f, 1<<20)
-	var hdr [44]byte
+	var hdr [52]byte
 	copy(hdr[:8], snapMagic[:])
-	binary.LittleEndian.PutUint32(hdr[8:], snapFormatV2)
+	binary.LittleEndian.PutUint32(hdr[8:], snapFormatV3)
 	binary.LittleEndian.PutUint64(hdr[12:], version)
 	binary.LittleEndian.PutUint64(hdr[20:], mark.Version)
 	binary.LittleEndian.PutUint64(hdr[28:], uint64(mark.Wall))
 	binary.LittleEndian.PutUint64(hdr[36:], uint64(writtenAt))
+	binary.LittleEndian.PutUint64(hdr[44:], epoch)
 	if _, err := bw.Write(hdr[:]); err == nil {
 		var crc [4]byte
 		binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(hdr[:], castagnoli))
@@ -106,28 +126,29 @@ func writeSnapshotFile(dir string, g *bipartite.Graph, version uint64, mark stre
 	return path, nil
 }
 
-// readSnapshotFile decodes and validates one snapshot file of either format.
-// Format-1 files report a zero watermark and written-at time.
-func readSnapshotFile(path string) (g *bipartite.Graph, version uint64, mark stream.WindowMark, writtenAt int64, err error) {
+// readSnapshotFile decodes and validates one snapshot file of any supported
+// format. Fields absent from a legacy format come back zero.
+func readSnapshotFile(path string) (g *bipartite.Graph, hdr SnapshotHeader, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, 0, mark, 0, fmt.Errorf("persist: opening snapshot: %w", err)
+		return nil, hdr, fmt.Errorf("persist: opening snapshot: %w", err)
 	}
 	defer f.Close()
 	return decodeSnapshot(f, filepath.Base(path))
 }
 
-// decodeSnapshot reads one snapshot of either format from r; label names the
-// source in errors (a file's base name, or "stream" for a shipped body).
-func decodeSnapshot(r io.Reader, label string) (g *bipartite.Graph, version uint64, mark stream.WindowMark, writtenAt int64, err error) {
+// decodeSnapshot reads one snapshot of any supported format from r; label
+// names the source in errors (a file's base name, or "stream" for a shipped
+// body).
+func decodeSnapshot(r io.Reader, label string) (g *bipartite.Graph, out SnapshotHeader, err error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 
 	var pre [12]byte // magic + format: enough to select the header shape
 	if _, err := io.ReadFull(br, pre[:]); err != nil {
-		return nil, 0, mark, 0, fmt.Errorf("persist: reading snapshot header: %w", err)
+		return nil, out, fmt.Errorf("persist: reading snapshot header: %w", err)
 	}
 	if [8]byte(pre[:8]) != snapMagic {
-		return nil, 0, mark, 0, fmt.Errorf("persist: snapshot %s: bad magic", label)
+		return nil, out, fmt.Errorf("persist: snapshot %s: bad magic", label)
 	}
 	format := binary.LittleEndian.Uint32(pre[8:])
 	var hdrLen int
@@ -136,28 +157,33 @@ func decodeSnapshot(r io.Reader, label string) (g *bipartite.Graph, version uint
 		hdrLen = 20 // magic + format + graph version
 	case snapFormatV2:
 		hdrLen = 44 // + watermark version, watermark wall, written-at
+	case snapFormatV3:
+		hdrLen = 52 // + epoch
 	default:
-		return nil, 0, mark, 0, fmt.Errorf("persist: snapshot %s: unsupported format %d", label, format)
+		return nil, out, fmt.Errorf("persist: snapshot %s: unsupported format %d", label, format)
 	}
 	hdr := make([]byte, hdrLen+4)
 	copy(hdr, pre[:])
 	if _, err := io.ReadFull(br, hdr[len(pre):]); err != nil {
-		return nil, 0, mark, 0, fmt.Errorf("persist: reading snapshot header: %w", err)
+		return nil, out, fmt.Errorf("persist: reading snapshot header: %w", err)
 	}
 	if crc32.Checksum(hdr[:hdrLen], castagnoli) != binary.LittleEndian.Uint32(hdr[hdrLen:]) {
-		return nil, 0, mark, 0, fmt.Errorf("persist: snapshot %s: header checksum mismatch", label)
+		return nil, out, fmt.Errorf("persist: snapshot %s: header checksum mismatch", label)
 	}
-	version = binary.LittleEndian.Uint64(hdr[12:])
-	if format == snapFormatV2 {
-		mark.Version = binary.LittleEndian.Uint64(hdr[20:])
-		mark.Wall = int64(binary.LittleEndian.Uint64(hdr[28:]))
-		writtenAt = int64(binary.LittleEndian.Uint64(hdr[36:]))
+	out.Version = binary.LittleEndian.Uint64(hdr[12:])
+	if format >= snapFormatV2 {
+		out.Mark.Version = binary.LittleEndian.Uint64(hdr[20:])
+		out.Mark.Wall = int64(binary.LittleEndian.Uint64(hdr[28:]))
+		out.WrittenAt = int64(binary.LittleEndian.Uint64(hdr[36:]))
+	}
+	if format >= snapFormatV3 {
+		out.Epoch = binary.LittleEndian.Uint64(hdr[44:])
 	}
 	g, err = bipartite.ReadCSR(br)
 	if err != nil {
-		return nil, 0, mark, 0, fmt.Errorf("persist: snapshot %s: %w", label, err)
+		return nil, out, fmt.Errorf("persist: snapshot %s: %w", label, err)
 	}
-	return g, version, mark, writtenAt, nil
+	return g, out, nil
 }
 
 // snapFile names one on-disk snapshot.

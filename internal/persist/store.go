@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -12,6 +13,18 @@ import (
 	"ensemfdet/internal/bipartite"
 	"ensemfdet/internal/stream"
 )
+
+// ErrDegraded tags every append rejected because the store is in the
+// fail-stop WAL gap state (or entering it): the batch did not reach the log
+// and will not until a covering snapshot heals the gap. The serving layer
+// maps it to 503 + Retry-After so clients back off instead of hot-retrying.
+var ErrDegraded = errors.New("persist: WAL degraded")
+
+// ErrFenced tags local-ingest appends rejected because this store's epoch is
+// owned by another primary — the node has been deposed (or never promoted).
+// Unlike ErrDegraded this does not heal with time: the remedy is rejoining
+// the new primary as a follower, so the serving layer maps it to 409.
+var ErrFenced = errors.New("persist: fenced")
 
 // Source is what the store snapshots: anything handing out immutable
 // versioned CSR views. *stream.Graph is the production implementation.
@@ -70,6 +83,16 @@ type Store struct {
 	// snapshot captures the in-memory graph, unjournaled batches included.
 	walGap atomic.Uint64
 
+	// Failover epoch (term) state, durably mirrored by the fence file (and
+	// discovered from snapshot headers / WAL fence records at Recover, which
+	// may only raise it). fenceMu serializes fence-file writes; owned gates
+	// the local-ingest journal tee — a deposed primary's appends fail-stop
+	// with ErrFenced, while the replica apply path (AppendRecord) stays open.
+	fenceMu    sync.Mutex
+	epoch      atomic.Uint64
+	epochStart atomic.Uint64
+	owned      atomic.Bool
+
 	recovered RecoveryStats
 }
 
@@ -84,18 +107,31 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "snap"), 0o755); err != nil {
 		return nil, fmt.Errorf("persist: creating data dir: %w", err)
 	}
-	w, records, torn, err := openWAL(filepath.Join(dir, "wal"), opts.segmentBytes(), opts.Fsync == FsyncAlways, logf)
+	w, records, torn, err := openWAL(filepath.Join(dir, "wal"), opts.segmentBytes(), opts.Fsync == FsyncAlways, logf, opts.Inject)
 	if err != nil {
 		return nil, err
 	}
-	return &Store{
+	s := &Store{
 		dir:     dir,
 		opts:    opts,
 		wal:     w,
 		logf:    logf,
 		pending: records,
 		torn:    torn,
-	}, nil
+	}
+	// Seed the epoch from the fence file. A directory without one predates
+	// failover: epoch 0, owned — the single-primary behaviour. Recover then
+	// raises the epoch past the fence if snapshots or WAL fences outrank it
+	// (a crash can land durable state before the fence write), dropping
+	// ownership when they do.
+	fence, ok, err := readFenceFile(dir)
+	if err != nil {
+		return nil, err
+	}
+	s.epoch.Store(fence.epoch)
+	s.epochStart.Store(fence.start)
+	s.owned.Store(!ok || fence.owned)
+	return s, nil
 }
 
 // Recover loads the newest valid snapshot into g (which must be empty) and
@@ -116,9 +152,10 @@ func (s *Store) Recover(g *stream.Graph) (RecoveryStats, error) {
 	var snap *bipartite.Graph
 	var snapMark stream.WindowMark
 	var snapWrittenAt int64
+	var snapEpoch uint64
 	var maxBadSnap uint64
 	for _, sf := range listSnapshots(filepath.Join(s.dir, "snap")) {
-		loaded, version, mark, writtenAt, err := readSnapshotFile(sf.path)
+		loaded, hdr, err := readSnapshotFile(sf.path)
 		if err != nil {
 			s.logf("persist: skipping unusable snapshot %s: %v", filepath.Base(sf.path), err)
 			if sf.version > maxBadSnap {
@@ -126,8 +163,8 @@ func (s *Store) Recover(g *stream.Graph) (RecoveryStats, error) {
 			}
 			continue
 		}
-		snap, rec.SnapshotVersion, rec.SnapshotEdges = loaded, version, loaded.NumEdges()
-		snapMark, snapWrittenAt = mark, writtenAt
+		snap, rec.SnapshotVersion, rec.SnapshotEdges = loaded, hdr.Version, loaded.NumEdges()
+		snapMark, snapWrittenAt, snapEpoch = hdr.Mark, hdr.WrittenAt, hdr.Epoch
 		break
 	}
 	if snap != nil {
@@ -182,10 +219,26 @@ func (s *Store) Recover(g *stream.Graph) (RecoveryStats, error) {
 	}
 
 	var tailBytes int64
+	var walEpoch, walEpochStart uint64
 	for i := 0; i < len(replay); i++ {
 		r := replay[i]
+		if r.kind == recEpochFence && r.epoch > walEpoch {
+			// Note the fence even when the snapshot covers its version: the
+			// snapshot carries the epoch forward in its header, but an older
+			// (pre-fence) snapshot may have been the one that survived.
+			walEpoch, walEpochStart = r.epoch, r.version
+		}
 		if r.version <= rec.SnapshotVersion {
 			rec.SkippedRecords++
+			continue
+		}
+		if r.kind == recEpochFence {
+			// A fence occupies its version slot but carries no edges: replay
+			// is just the version bump, so the surviving history tiles
+			// exactly as it did live.
+			g.AdvanceVersionTo(r.version)
+			rec.ReplayedRecords++
+			tailBytes += r.frameSize()
 			continue
 		}
 		if r.kind == recTombstone {
@@ -236,6 +289,25 @@ func (s *Store) Recover(g *stream.Graph) (RecoveryStats, error) {
 		tailBytes += r.frameSize()
 	}
 	s.bytesSinceSnap.Store(tailBytes)
+
+	// Resolve the epoch: the fence file seeded it at Open; durable state that
+	// outranks it (a shipped snapshot's header, a WAL fence record the crash
+	// landed before the fence-file write) raises it — and anything the fence
+	// file did not record ownership of is, by definition, not owned here.
+	// That asymmetry is the fencing guarantee across reboots: a deposed
+	// primary can observe a higher epoch but can never manufacture ownership
+	// of one.
+	if walEpoch > s.epoch.Load() {
+		s.epoch.Store(walEpoch)
+		s.epochStart.Store(walEpochStart)
+		s.owned.Store(false)
+	}
+	if snapEpoch > s.epoch.Load() {
+		s.epoch.Store(snapEpoch)
+		s.epochStart.Store(0) // start version unknown from a header alone
+		s.owned.Store(false)
+	}
+	rec.Epoch = s.epoch.Load()
 	rec.Version = g.Version()
 	rec.WindowMark = g.WindowStats().Mark // snapshot mark + replayed tombstone marks
 	s.recovered = rec
@@ -264,7 +336,10 @@ func (s *Store) SetSource(src Source) {
 // After healing, client retries deduplicate against the snapshotted edges,
 // so the "retry on 500" contract stays truthful.
 func (s *Store) AppendEdges(version uint64, edges []bipartite.Edge) error {
-	return s.journalRecord(recEdges, version, edges, stream.WindowMark{})
+	if err := s.checkOwned(); err != nil {
+		return err
+	}
+	return s.journalRecord(walRecord{kind: recEdges, version: version, edges: edges})
 }
 
 // RetireEdges implements the tombstone half of stream.Journal: a retire pass
@@ -275,10 +350,26 @@ func (s *Store) AppendEdges(version uint64, edges []bipartite.Edge) error {
 // (which captures the post-retire graph, unjournaled retirements included)
 // heals the gap.
 func (s *Store) RetireEdges(version uint64, edges []bipartite.Edge, mark stream.WindowMark) error {
-	return s.journalRecord(recTombstone, version, edges, mark)
+	if err := s.checkOwned(); err != nil {
+		return err
+	}
+	return s.journalRecord(walRecord{kind: recTombstone, version: version, edges: edges, mark: mark})
 }
 
-func (s *Store) journalRecord(kind uint32, version uint64, edges []bipartite.Edge, mark stream.WindowMark) error {
+// checkOwned gates the local-ingest journal tee on epoch ownership: a node
+// whose epoch belongs to another primary must fail-stop every write it would
+// acknowledge, or it could fork history a promoted follower has already
+// diverged from. The replica apply path (AppendRecord) bypasses this —
+// followers journal the owner's records precisely because they are not the
+// owner.
+func (s *Store) checkOwned() error {
+	if s.owned.Load() {
+		return nil
+	}
+	return fmt.Errorf("%w: epoch %d is owned by another primary; local writes are rejected", ErrFenced, s.epoch.Load())
+}
+
+func (s *Store) journalRecord(rec walRecord) error {
 	if s.closed.Load() {
 		return fmt.Errorf("persist: store is closed")
 	}
@@ -294,20 +385,20 @@ func (s *Store) journalRecord(kind uint32, version uint64, edges []bipartite.Edg
 			}
 			continue
 		}
-		raiseGap(&s.walGap, version) // this batch is unjournaled too
+		raiseGap(&s.walGap, rec.version) // this batch is unjournaled too
 		// Kick another heal attempt: the original failure's kick may have
 		// cut below a gap raised since (or been swallowed by an in-flight
 		// snapshot), and the size trigger can't fire while appends are
 		// rejected — without this, a healthy disk could stay degraded until
 		// shutdown.
 		s.kickSnapshot()
-		return fmt.Errorf("persist: WAL degraded since a failure at version ≤ %d: batch %d rejected until a covering snapshot lands", gap, version)
+		return fmt.Errorf("%w since a failure at version ≤ %d: batch %d rejected until a covering snapshot lands", ErrDegraded, gap, rec.version)
 	}
-	n, err := s.wal.append(kind, version, edges, mark)
+	n, err := s.wal.append(rec)
 	if err != nil {
-		raiseGap(&s.walGap, version)
+		raiseGap(&s.walGap, rec.version)
 		s.kickSnapshot() // try to self-heal without waiting for the size trigger
-		return err
+		return fmt.Errorf("%w: %w", ErrDegraded, err)
 	}
 	if s.bytesSinceSnap.Add(n) >= s.opts.snapshotBytes() {
 		s.kickSnapshot()
@@ -370,7 +461,13 @@ func (s *Store) Snapshot() error {
 		return nil
 	}
 	start := time.Now()
-	if _, err := writeSnapshotFile(filepath.Join(s.dir, "snap"), g, version, mark, time.Now().UnixNano()); err != nil {
+	if s.opts.Inject != nil {
+		if err := s.opts.Inject("snap.write"); err != nil {
+			s.snapErrs.Add(1)
+			return fmt.Errorf("persist: writing snapshot: %w", err)
+		}
+	}
+	if _, err := writeSnapshotFile(filepath.Join(s.dir, "snap"), g, version, mark, time.Now().UnixNano(), s.epoch.Load()); err != nil {
 		s.snapErrs.Add(1)
 		return err
 	}
@@ -403,6 +500,96 @@ func (s *Store) Snapshot() error {
 // FsyncNever escape hatch for checkpoints.
 func (s *Store) Sync() error { return s.wal.sync() }
 
+// Epoch returns the failover term this store has observed, the first graph
+// version of that term (0 when unknown), and whether local ingest owns it.
+func (s *Store) Epoch() (epoch, start uint64, owned bool) {
+	return s.epoch.Load(), s.epochStart.Load(), s.owned.Load()
+}
+
+// AdoptEpoch durably records an epoch observed from elsewhere — a higher
+// term in a tail response, a fence record shipped by the new primary, or an
+// admin re-point. Ownership is dropped: adopting is how a node concedes the
+// term to its owner. Adopting an epoch at or below the current one only
+// rewrites the fence when it would change state (idempotent re-adopts are
+// free); it never lowers the epoch.
+func (s *Store) AdoptEpoch(epoch, start uint64) error {
+	s.fenceMu.Lock()
+	defer s.fenceMu.Unlock()
+	cur := s.epoch.Load()
+	if epoch < cur {
+		return fmt.Errorf("persist: cannot adopt epoch %d below current %d", epoch, cur)
+	}
+	if epoch == cur && !s.owned.Load() && (start == 0 || s.epochStart.Load() == start) {
+		return nil
+	}
+	if err := writeFenceFile(s.dir, fenceState{epoch: epoch, start: start, owned: false}, s.opts.Inject); err != nil {
+		return err
+	}
+	s.epoch.Store(epoch)
+	s.epochStart.Store(start)
+	s.owned.Store(false)
+	return nil
+}
+
+// PromoteEpoch is the durable half of follower promotion: it fsyncs
+// ownership of a new term (strictly above the current epoch) into the fence
+// file, then journals an epoch-fence record at startVersion — the version
+// slot the term begins at. Once the fence write returns, any surviving
+// pre-promote primary that observes this epoch fail-stops, and this store's
+// local ingest is unlocked. The fence record rides the normal journal path,
+// so it ships to tailing followers and replays across reboots.
+func (s *Store) PromoteEpoch(epoch, startVersion uint64) error {
+	s.fenceMu.Lock()
+	defer s.fenceMu.Unlock()
+	if cur := s.epoch.Load(); epoch <= cur {
+		return fmt.Errorf("persist: promote epoch %d is not above current %d", epoch, cur)
+	}
+	if startVersion == 0 {
+		return errors.New("persist: promote start version must be non-zero")
+	}
+	if err := writeFenceFile(s.dir, fenceState{epoch: epoch, start: startVersion, owned: true}, s.opts.Inject); err != nil {
+		return err
+	}
+	s.epoch.Store(epoch)
+	s.epochStart.Store(startVersion)
+	s.owned.Store(true)
+	return s.journalRecord(walRecord{kind: recEpochFence, version: startVersion, epoch: epoch})
+}
+
+// Rewind discards the store's entire durable history — every snapshot and
+// WAL segment — leaving a fresh, empty log. It is the epoch-boundary resync
+// primitive: when a rejoining node's history has forked from the promoted
+// primary's (its versions overlap the new term's), the forked suffix cannot
+// be surgically unwound record-by-record, so the caller first forces the
+// in-memory graph onto the new primary's snapshot, then Rewinds, then cuts a
+// fresh snapshot of the converged state. A crash in between recovers the
+// pre-rewind state or an empty store — either way the next resync attempt
+// converges again; acknowledged history on the *new* timeline is never lost
+// because none exists locally until the post-rewind snapshot lands.
+func (s *Store) Rewind() error {
+	if s.closed.Load() {
+		return fmt.Errorf("persist: store is closed")
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	snapDir := filepath.Join(s.dir, "snap")
+	for _, sf := range listSnapshots(snapDir) {
+		if err := os.Remove(sf.path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("persist: removing snapshot: %w", err)
+		}
+	}
+	if err := syncDir(snapDir); err != nil {
+		return fmt.Errorf("persist: syncing snapshot dir: %w", err)
+	}
+	if err := s.wal.reset(); err != nil {
+		return err
+	}
+	s.snapVersion.Store(0)
+	s.bytesSinceSnap.Store(0)
+	s.walGap.Store(0)
+	return nil
+}
+
 // Close flushes everything: it waits for any background snapshot, writes a
 // final snapshot if the WAL grew past the last one, and closes the log. The
 // store is unusable afterwards; in-flight AppendEdges calls fail cleanly.
@@ -429,6 +616,9 @@ func (s *Store) Stats() Stats {
 	segs, bytes := s.wal.diskStats()
 	records, appended, tombstones, fsyncs, compactions, compacted := s.wal.counters()
 	return Stats{
+		Epoch:              s.epoch.Load(),
+		EpochStartVersion:  s.epochStart.Load(),
+		EpochOwned:         s.owned.Load(),
 		FsyncPolicy:        s.opts.Fsync.String(),
 		WALSegments:        segs,
 		WALBytes:           bytes,

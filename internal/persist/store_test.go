@@ -428,15 +428,15 @@ func TestConcurrentDurableIngest(t *testing.T) {
 func TestReplayPreservesVersionsAcrossHole(t *testing.T) {
 	dir := t.TempDir()
 	walDir := filepath.Join(dir, "wal")
-	w, _, _, err := openWAL(walDir, 1<<20, true, testLogf(t))
+	w, _, _, err := openWAL(walDir, 1<<20, true, testLogf(t), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Version 2's record is missing: its journal write was torn mid-crash.
-	if _, err := w.append(recEdges, 1, edgesN(0, 2), stream.WindowMark{}); err != nil {
+	if _, err := w.append(walRecord{kind: recEdges, version: 1, edges: edgesN(0, 2)}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := w.append(recEdges, 3, edgesN(100, 2), stream.WindowMark{}); err != nil {
+	if _, err := w.append(walRecord{kind: recEdges, version: 3, edges: edgesN(100, 2)}); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.close(); err != nil {
@@ -461,11 +461,11 @@ func TestReplayPreservesVersionsAcrossHole(t *testing.T) {
 // disk (before the covering snapshot deletes it) still boots.
 func TestTaintedSegmentSealsClean(t *testing.T) {
 	dir := t.TempDir()
-	w, _, _, err := openWAL(dir, 1<<20, true, testLogf(t))
+	w, _, _, err := openWAL(dir, 1<<20, true, testLogf(t), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := w.append(recEdges, 1, edgesN(0, 2), stream.WindowMark{}); err != nil {
+	if _, err := w.append(walRecord{kind: recEdges, version: 1, edges: edgesN(0, 2)}); err != nil {
 		t.Fatal(err)
 	}
 	// Simulate a failed record write: partial garbage lands after the good
@@ -477,7 +477,7 @@ func TestTaintedSegmentSealsClean(t *testing.T) {
 	if err := w.truncateTo(0); err != nil { // rotates the tainted segment
 		t.Fatal(err)
 	}
-	if _, err := w.append(recEdges, 2, edgesN(10, 2), stream.WindowMark{}); err != nil {
+	if _, err := w.append(walRecord{kind: recEdges, version: 2, edges: edgesN(10, 2)}); err != nil {
 		t.Fatalf("append after tainted rotation: %v", err)
 	}
 	if err := w.close(); err != nil {
@@ -486,7 +486,7 @@ func TestTaintedSegmentSealsClean(t *testing.T) {
 
 	// Both segments are on disk (nothing deleted at watermark 0); the boot
 	// scan must find two clean segments, not refuse over sealed garbage.
-	_, recs, torn, err := openWAL(dir, 1<<20, true, testLogf(t))
+	_, recs, torn, err := openWAL(dir, 1<<20, true, testLogf(t), nil)
 	if err != nil {
 		t.Fatalf("boot after tainted seal refused: %v", err)
 	}

@@ -34,16 +34,21 @@ import (
 //
 // v2 record framing (same frame, payload gains a kind; tombstones also
 // carry the window watermark their retire pass reached, so replay restores
-// expiry progress exactly):
+// expiry progress exactly; epoch fences carry the failover term that began
+// at their version):
 //
 //	uint32 payloadLen
 //	uint32 crc32c(payload)
 //	payload:
 //	  uint64 version
-//	  uint32 kind      1 = edge batch, 2 = tombstone (edges retired/removed)
-//	  uint32 count
+//	  uint32 kind      1 = edge batch, 2 = tombstone, 3 = epoch fence
+//	  uint32 count     (0 for kind 3)
 //	  [kind 2 only] uint64 watermark version, int64 watermark wall (unix ns)
+//	  [kind 3 only] uint64 epoch
 //	  count × (uint32 u, uint32 v)
+//
+// v2 segments written before failover existed simply contain no kind-3
+// records; they decode unchanged ("v2-no-epoch" compatibility).
 //
 // Segments are named seg-<16-hex-digit index>.wal; the index only orders
 // them. A segment is sealed by rotation (synced, then never written again),
@@ -59,8 +64,9 @@ const walFrameBytes = 8 // length + checksum prefix
 
 // Record kinds of the v2 format. v1 records decode as recEdges.
 const (
-	recEdges     = uint32(1)
-	recTombstone = uint32(2)
+	recEdges      = uint32(1)
+	recTombstone  = uint32(2)
+	recEpochFence = uint32(3)
 )
 
 // walRecord is one decoded log record.
@@ -68,6 +74,7 @@ type walRecord struct {
 	version uint64
 	kind    uint32
 	mark    stream.WindowMark // tombstones only
+	epoch   uint64            // epoch fences only
 	edges   []bipartite.Edge
 	size    int64 // on-disk framed size, format-dependent
 }
@@ -103,6 +110,7 @@ type wal struct {
 	segBytes int64
 	fsync    bool
 	logf     func(string, ...any)
+	inject   func(string) error // fault-injection hook; nil in production
 
 	mu     sync.Mutex
 	sealed []segMeta
@@ -143,7 +151,7 @@ func segPath(dir string, index uint64) string {
 // returns the writer positioned to append plus every surviving record (the
 // store replays the ones past the snapshot watermark). torn reports whether
 // a tail truncation happened. Leftover compaction temporaries are removed.
-func openWAL(dir string, segBytes int64, fsync bool, logf func(string, ...any)) (w *wal, records []walRecord, torn bool, err error) {
+func openWAL(dir string, segBytes int64, fsync bool, logf func(string, ...any), inject func(string) error) (w *wal, records []walRecord, torn bool, err error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, false, fmt.Errorf("persist: creating WAL dir: %w", err)
 	}
@@ -158,7 +166,7 @@ func openWAL(dir string, segBytes int64, fsync bool, logf func(string, ...any)) 
 	}
 	sort.Strings(names) // fixed-width hex index → lexicographic = numeric
 
-	w = &wal{dir: dir, segBytes: segBytes, fsync: fsync, logf: logf}
+	w = &wal{dir: dir, segBytes: segBytes, fsync: fsync, logf: logf, inject: inject}
 	for i, name := range names {
 		last := i == len(names)-1
 		recs, meta, tornHere, err := scanSegment(name, last, logf)
@@ -293,14 +301,23 @@ func decodeRecordV2(data []byte) (walRecord, int, bool) {
 	}
 	count := int(binary.LittleEndian.Uint32(payload[12:]))
 	body := 16
-	if rec.kind == recTombstone {
+	switch rec.kind {
+	case recEdges:
+	case recTombstone:
 		if n < 32 {
 			return walRecord{}, 0, false
 		}
 		rec.mark.Version = binary.LittleEndian.Uint64(payload[16:])
 		rec.mark.Wall = int64(binary.LittleEndian.Uint64(payload[24:]))
 		body = 32
-	} else if rec.kind != recEdges {
+	case recEpochFence:
+		// A fence never carries edges; a non-zero count is malformed.
+		if n < 24 || count != 0 {
+			return walRecord{}, 0, false
+		}
+		rec.epoch = binary.LittleEndian.Uint64(payload[16:])
+		body = 24
+	default:
 		return walRecord{}, 0, false
 	}
 	if body+8*count != n || rec.version == 0 {
@@ -323,14 +340,17 @@ func decodeEdges(data []byte, count int) []bipartite.Edge {
 }
 
 // encodeRecord frames one v2 record into buf (grown as needed), returning
-// the framed bytes. Tombstones carry the watermark after the version/kind
-// prefix.
-func encodeRecord(buf *[]byte, kind uint32, version uint64, edges []bipartite.Edge, mark stream.WindowMark) []byte {
+// the framed bytes. Tombstones carry the watermark, and epoch fences the
+// epoch, after the version/kind prefix.
+func encodeRecord(buf *[]byte, r walRecord) []byte {
 	body := 16
-	if kind == recTombstone {
+	switch r.kind {
+	case recTombstone:
 		body = 32
+	case recEpochFence:
+		body = 24
 	}
-	payloadLen := body + 8*len(edges)
+	payloadLen := body + 8*len(r.edges)
 	total := walFrameBytes + payloadLen
 	if cap(*buf) < total {
 		*buf = make([]byte, total)
@@ -338,14 +358,17 @@ func encodeRecord(buf *[]byte, kind uint32, version uint64, edges []bipartite.Ed
 	b := (*buf)[:total]
 	binary.LittleEndian.PutUint32(b, uint32(payloadLen))
 	payload := b[walFrameBytes:]
-	binary.LittleEndian.PutUint64(payload, version)
-	binary.LittleEndian.PutUint32(payload[8:], kind)
-	binary.LittleEndian.PutUint32(payload[12:], uint32(len(edges)))
-	if kind == recTombstone {
-		binary.LittleEndian.PutUint64(payload[16:], mark.Version)
-		binary.LittleEndian.PutUint64(payload[24:], uint64(mark.Wall))
+	binary.LittleEndian.PutUint64(payload, r.version)
+	binary.LittleEndian.PutUint32(payload[8:], r.kind)
+	binary.LittleEndian.PutUint32(payload[12:], uint32(len(r.edges)))
+	switch r.kind {
+	case recTombstone:
+		binary.LittleEndian.PutUint64(payload[16:], r.mark.Version)
+		binary.LittleEndian.PutUint64(payload[24:], uint64(r.mark.Wall))
+	case recEpochFence:
+		binary.LittleEndian.PutUint64(payload[16:], r.epoch)
 	}
-	for i, e := range edges {
+	for i, e := range r.edges {
 		binary.LittleEndian.PutUint32(payload[body+8*i:], e.U)
 		binary.LittleEndian.PutUint32(payload[body+8*i+4:], e.V)
 	}
@@ -357,7 +380,7 @@ func encodeRecord(buf *[]byte, kind uint32, version uint64, edges []bipartite.Ed
 // is full, and syncs according to policy. A fresh segment gets its format
 // header before the first record. The returned size is the framed record's
 // on-disk footprint (header bytes excluded).
-func (w *wal) append(kind uint32, version uint64, edges []bipartite.Edge, mark stream.WindowMark) (int64, error) {
+func (w *wal) append(rec walRecord) (int64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
@@ -366,7 +389,7 @@ func (w *wal) append(kind uint32, version uint64, edges []bipartite.Edge, mark s
 	if w.tainted {
 		return 0, fmt.Errorf("persist: WAL segment tainted by an earlier write failure")
 	}
-	buf := encodeRecord(&w.buf, kind, version, edges, mark)
+	buf := encodeRecord(&w.buf, rec)
 	w.buf = buf
 	if w.active.bytes > 0 && w.active.bytes+int64(len(buf)) > w.segBytes {
 		if err := w.rotateLocked(); err != nil {
@@ -381,11 +404,23 @@ func (w *wal) append(kind uint32, version uint64, edges []bipartite.Edge, mark s
 		w.active.bytes = int64(len(walMagic))
 	}
 
+	if w.inject != nil {
+		if err := w.inject("wal.write"); err != nil {
+			w.tainted = true // simulate a partial frame on disk
+			return 0, fmt.Errorf("persist: WAL write: %w", err)
+		}
+	}
 	if _, err := w.f.Write(buf); err != nil {
 		w.tainted = true // a partial frame may be on disk
 		return 0, fmt.Errorf("persist: WAL write: %w", err)
 	}
 	if w.fsync {
+		if w.inject != nil {
+			if err := w.inject("wal.fsync"); err != nil {
+				w.tainted = true
+				return 0, fmt.Errorf("persist: WAL fsync: %w", err)
+			}
+		}
 		if err := w.f.Sync(); err != nil {
 			w.tainted = true // the kernel may have dropped the dirty pages
 			return 0, fmt.Errorf("persist: WAL fsync: %w", err)
@@ -393,10 +428,10 @@ func (w *wal) append(kind uint32, version uint64, edges []bipartite.Edge, mark s
 		w.fsyncs++
 	}
 	w.active.bytes += int64(len(buf))
-	w.active.note(version)
+	w.active.note(rec.version)
 	w.appendedRecords++
 	w.appendedBytes += uint64(len(buf))
-	if kind == recTombstone {
+	if rec.kind == recTombstone {
 		w.tombstoneRecords++
 	}
 	return int64(len(buf)), nil
@@ -526,7 +561,7 @@ func (w *wal) compactSegmentLocked(seg *segMeta, version uint64) error {
 			if r.version <= version {
 				continue
 			}
-			buf := encodeRecord(&w.buf, r.kind, r.version, r.edges, r.mark)
+			buf := encodeRecord(&w.buf, r)
 			w.buf = buf
 			if _, err = f.Write(buf); err != nil {
 				break
@@ -553,6 +588,41 @@ func (w *wal) compactSegmentLocked(seg *segMeta, version uint64) error {
 	}
 	*seg = next
 	return nil
+}
+
+// reset discards the entire log — every sealed segment and the active one —
+// and starts a fresh empty segment at the next index, clearing taint and the
+// floor. It is the epoch-boundary rewind primitive: after a follower's graph
+// has been forced onto a new primary's history, records of the abandoned
+// timeline must not survive to replay on the next boot.
+func (w *wal) reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("persist: WAL is closed")
+	}
+	next := segMeta{index: w.active.index + 1}
+	next.path = segPath(w.dir, next.index)
+	f, err := os.OpenFile(next.path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: opening WAL segment: %w", err)
+	}
+	w.f.Close() // the old active segment is about to be deleted; errors moot
+	old := append(append([]segMeta(nil), w.sealed...), w.active)
+	w.f, w.active = f, next
+	w.sealed = nil
+	w.tainted = false
+	w.floor = 0
+	var firstErr error
+	for _, seg := range old {
+		if err := os.Remove(seg.path); err != nil && !os.IsNotExist(err) && firstErr == nil {
+			firstErr = fmt.Errorf("persist: removing WAL segment: %w", err)
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return syncDir(w.dir)
 }
 
 // setFloor raises the tail floor to at least v (recovery seeds it with the

@@ -8,7 +8,6 @@ import (
 	"testing"
 
 	"ensemfdet/internal/bipartite"
-	"ensemfdet/internal/stream"
 )
 
 func testLogf(t *testing.T) func(string, ...any) {
@@ -25,13 +24,13 @@ func edgesN(start, n int) []bipartite.Edge {
 
 func TestWALAppendScanRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	w, recs, torn, err := openWAL(dir, 1<<20, true, testLogf(t))
+	w, recs, torn, err := openWAL(dir, 1<<20, true, testLogf(t), nil)
 	if err != nil || len(recs) != 0 || torn {
 		t.Fatalf("fresh openWAL: recs=%d torn=%v err=%v", len(recs), torn, err)
 	}
 	batches := [][]bipartite.Edge{edgesN(0, 3), edgesN(10, 1), edgesN(20, 7)}
 	for i, b := range batches {
-		if _, err := w.append(recEdges, uint64(i+1), b, stream.WindowMark{}); err != nil {
+		if _, err := w.append(walRecord{kind: recEdges, version: uint64(i + 1), edges: b}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -39,7 +38,7 @@ func TestWALAppendScanRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	_, recs, torn, err = openWAL(dir, 1<<20, true, testLogf(t))
+	_, recs, torn, err = openWAL(dir, 1<<20, true, testLogf(t), nil)
 	if err != nil || torn {
 		t.Fatalf("reopen: torn=%v err=%v", torn, err)
 	}
@@ -56,12 +55,12 @@ func TestWALAppendScanRoundTrip(t *testing.T) {
 func TestWALSegmentRotationAndTruncation(t *testing.T) {
 	dir := t.TempDir()
 	// Tiny segments: every batch after the first rotates.
-	w, _, _, err := openWAL(dir, 48, true, testLogf(t))
+	w, _, _, err := openWAL(dir, 48, true, testLogf(t), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for v := uint64(1); v <= 5; v++ {
-		if _, err := w.append(recEdges, v, edgesN(int(v)*10, 2), stream.WindowMark{}); err != nil {
+		if _, err := w.append(walRecord{kind: recEdges, version: v, edges: edgesN(int(v)*10, 2)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -77,7 +76,7 @@ func TestWALSegmentRotationAndTruncation(t *testing.T) {
 	if err := w.close(); err != nil {
 		t.Fatal(err)
 	}
-	_, recs, torn, err := openWAL(dir, 48, true, testLogf(t))
+	_, recs, torn, err := openWAL(dir, 48, true, testLogf(t), nil)
 	if err != nil || torn {
 		t.Fatalf("reopen after truncate: torn=%v err=%v", torn, err)
 	}
@@ -121,13 +120,13 @@ func lastRecordRange(t *testing.T, data []byte) (start, end int) {
 // never refuse to start.
 func TestWALTornTailByteByByte(t *testing.T) {
 	dir := t.TempDir()
-	w, _, _, err := openWAL(dir, 1<<20, true, testLogf(t))
+	w, _, _, err := openWAL(dir, 1<<20, true, testLogf(t), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	const full = 4
 	for v := uint64(1); v <= full; v++ {
-		if _, err := w.append(recEdges, v, edgesN(int(v)*100, 3), stream.WindowMark{}); err != nil {
+		if _, err := w.append(walRecord{kind: recEdges, version: v, edges: edgesN(int(v)*100, 3)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -146,7 +145,7 @@ func TestWALTornTailByteByByte(t *testing.T) {
 		if err := os.WriteFile(seg, content, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		w, recs, torn, err := openWAL(dir, 1<<20, true, testLogf(t))
+		w, recs, torn, err := openWAL(dir, 1<<20, true, testLogf(t), nil)
 		if err != nil {
 			t.Fatalf("%s: recovery refused to start: %v", name, err)
 		}
@@ -162,7 +161,7 @@ func TestWALTornTailByteByByte(t *testing.T) {
 			}
 		}
 		// The log must remain appendable after truncation.
-		if _, err := w.append(recEdges, uint64(full), edgesN(999, 1), stream.WindowMark{}); err != nil {
+		if _, err := w.append(walRecord{kind: recEdges, version: uint64(full), edges: edgesN(999, 1)}); err != nil {
 			t.Fatalf("%s: append after truncation: %v", name, err)
 		}
 		if err := w.close(); err != nil {
@@ -183,7 +182,7 @@ func TestWALTornTailByteByByte(t *testing.T) {
 	if err := os.WriteFile(seg, pristine[:start], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, recs, torn, err := openWAL(dir, 1<<20, true, testLogf(t))
+	_, recs, torn, err := openWAL(dir, 1<<20, true, testLogf(t), nil)
 	if err != nil || torn || len(recs) != full-1 {
 		t.Fatalf("boundary cut: recs=%d torn=%v err=%v", len(recs), torn, err)
 	}
@@ -194,12 +193,12 @@ func TestWALTornTailByteByByte(t *testing.T) {
 // must refuse recovery rather than silently dropping it.
 func TestWALRefusesSealedCorruption(t *testing.T) {
 	dir := t.TempDir()
-	w, _, _, err := openWAL(dir, 40, true, testLogf(t))
+	w, _, _, err := openWAL(dir, 40, true, testLogf(t), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for v := uint64(1); v <= 3; v++ {
-		if _, err := w.append(recEdges, v, edgesN(int(v)*10, 2), stream.WindowMark{}); err != nil {
+		if _, err := w.append(walRecord{kind: recEdges, version: v, edges: edgesN(int(v)*10, 2)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -218,7 +217,7 @@ func TestWALRefusesSealedCorruption(t *testing.T) {
 	if err := os.WriteFile(first, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, _, _, err = openWAL(dir, 40, true, testLogf(t))
+	_, _, _, err = openWAL(dir, 40, true, testLogf(t), nil)
 	if err == nil || !strings.Contains(err.Error(), "refusing") {
 		t.Fatalf("sealed-segment corruption: err = %v, want refusal", err)
 	}
@@ -229,7 +228,7 @@ func TestWALRejectsMalformedSegmentName(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "seg-zz.wal"), []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := openWAL(dir, 1<<20, true, testLogf(t)); err == nil {
+	if _, _, _, err := openWAL(dir, 1<<20, true, testLogf(t), nil); err == nil {
 		t.Fatal("malformed segment name must error, not be silently skipped")
 	}
 }
@@ -238,12 +237,12 @@ func TestWALRejectsMalformedSegmentName(t *testing.T) {
 // disk counts as removed; the survivor metadata must stay consistent.
 func TestTruncateToleratesMissingSegment(t *testing.T) {
 	dir := t.TempDir()
-	w, _, _, err := openWAL(dir, 40, true, testLogf(t))
+	w, _, _, err := openWAL(dir, 40, true, testLogf(t), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for v := uint64(1); v <= 4; v++ {
-		if _, err := w.append(recEdges, v, edgesN(int(v)*10, 2), stream.WindowMark{}); err != nil {
+		if _, err := w.append(walRecord{kind: recEdges, version: v, edges: edgesN(int(v)*10, 2)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -257,7 +256,7 @@ func TestTruncateToleratesMissingSegment(t *testing.T) {
 	if err := w.close(); err != nil {
 		t.Fatal(err)
 	}
-	_, recs, torn, err := openWAL(dir, 40, true, testLogf(t))
+	_, recs, torn, err := openWAL(dir, 40, true, testLogf(t), nil)
 	if err != nil || torn {
 		t.Fatalf("reopen: torn=%v err=%v", torn, err)
 	}

@@ -341,12 +341,12 @@ func TestSnapshotPersistsWindowMark(t *testing.T) {
 func TestWALCompactionDropsCoveredRecords(t *testing.T) {
 	t.Run("v2", func(t *testing.T) {
 		dir := t.TempDir()
-		w, _, _, err := openWAL(dir, 1<<20, true, testLogf(t))
+		w, _, _, err := openWAL(dir, 1<<20, true, testLogf(t), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for v := uint64(1); v <= 5; v++ {
-			if _, err := w.append(recEdges, v, edgesN(int(v)*10, 4), stream.WindowMark{}); err != nil {
+			if _, err := w.append(walRecord{kind: recEdges, version: v, edges: edgesN(int(v)*10, 4)}); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -367,7 +367,7 @@ func TestWALCompactionDropsCoveredRecords(t *testing.T) {
 		if err := w.close(); err != nil {
 			t.Fatal(err)
 		}
-		_, recs, torn, err := openWAL(dir, 1<<20, true, testLogf(t))
+		_, recs, torn, err := openWAL(dir, 1<<20, true, testLogf(t), nil)
 		if err != nil || torn {
 			t.Fatalf("reopen after compaction: torn=%v err=%v", torn, err)
 		}
@@ -390,7 +390,7 @@ func TestWALCompactionDropsCoveredRecords(t *testing.T) {
 		if err := os.WriteFile(segPath(dir, 1), seg, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		w, recs, _, err := openWAL(dir, 1<<20, true, testLogf(t))
+		w, recs, _, err := openWAL(dir, 1<<20, true, testLogf(t), nil)
 		if err != nil || len(recs) != 3 {
 			t.Fatalf("v1 boot: recs=%d err=%v", len(recs), err)
 		}
@@ -408,7 +408,7 @@ func TestWALCompactionDropsCoveredRecords(t *testing.T) {
 		if [8]byte(data[:8]) != walMagic {
 			t.Fatal("compacted legacy segment did not upgrade to v2 framing")
 		}
-		_, recs, torn, err := openWAL(dir, 1<<20, true, testLogf(t))
+		_, recs, torn, err := openWAL(dir, 1<<20, true, testLogf(t), nil)
 		if err != nil || torn || len(recs) != 2 {
 			t.Fatalf("reopen: recs=%d torn=%v err=%v", len(recs), torn, err)
 		}
@@ -456,10 +456,13 @@ func TestRetireJournalFailureDegradesStore(t *testing.T) {
 		t.Fatalf("append after failed retire-journal: %+v, want rejection", res2)
 	}
 	// Wait for the self-heal snapshot the failure kicked (it captures the
-	// retired state), then appends must flow again.
+	// retired state), then appends must flow again. Each probe uses a fresh
+	// edge: a rejected probe still lands in memory, so retrying the same
+	// edge would dedup to an empty batch that never reaches the journal and
+	// "succeeds" with the gap still open.
 	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if res3 := g.AppendEdge(6, 6); res3.Err == nil {
+	for i := uint32(6); ; i++ {
+		if res3 := g.AppendEdge(i, i); res3.Err == nil {
 			break
 		}
 		if time.Now().After(deadline) {

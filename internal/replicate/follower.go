@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"os"
@@ -38,9 +39,17 @@ type FollowerConfig struct {
 	// WaitMS is the per-request long-poll budget sent to the primary
 	// (0 → 20000).
 	WaitMS int
-	// RetryMin/RetryMax bound the reconnect backoff (0 → 100ms / 5s).
+	// RetryMin/RetryMax bound the reconnect backoff (0 → 100ms / 5s). Each
+	// sleep is jittered into [d/2, d) so a fleet of followers knocked over
+	// by the same primary restart does not reconnect in lockstep; a
+	// Retry-After from the primary (it answers 503 while degraded) overrides
+	// the computed backoff when longer.
 	RetryMin time.Duration
 	RetryMax time.Duration
+	// FlushCache, when non-nil, runs after an epoch-boundary resync — the
+	// one path that can move the graph version backwards, which invalidates
+	// anything cached under version keys (the serving engine's vote cache).
+	FlushCache func()
 	// Logf receives replication progress and warnings (nil → log.Printf).
 	Logf func(string, ...any)
 }
@@ -95,12 +104,23 @@ type Follower struct {
 	behindSince    atomic.Int64 // unix ns when the current lag streak began (0 = caught up)
 	bootstrapped   atomic.Bool
 
+	// memEpoch tracks the adopted failover term for memory-only followers;
+	// with a store attached the store's fence file is authoritative and this
+	// mirrors it. respEpoch remembers the last term the primary advertised.
+	memEpoch  atomic.Uint64
+	respEpoch atomic.Uint64
+
 	bytesShipped      atomic.Uint64
 	recordsApplied    atomic.Uint64
 	tombstonesApplied atomic.Uint64
 	resyncs           atomic.Uint64
 	reconnects        atomic.Uint64
 	journalErrs       atomic.Uint64
+	epochAdopts       atomic.Uint64
+	epochRejects      atomic.Uint64
+	epochResyncs      atomic.Uint64
+	backoffNanos      atomic.Int64
+	retryAfterHint    atomic.Int64 // nanos requested by the last Retry-After header
 }
 
 // NewFollower validates the primary URL and returns a follower ready to
@@ -113,7 +133,42 @@ func NewFollower(cfg FollowerConfig) (*Follower, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Follower{cfg: cfg, base: base, client: cfg.client(), logf: cfg.logf()}, nil
+	f := &Follower{cfg: cfg, base: base, client: cfg.client(), logf: cfg.logf()}
+	if cfg.Store != nil {
+		e, _, _ := cfg.Store.Epoch()
+		f.memEpoch.Store(e)
+	}
+	return f, nil
+}
+
+// epoch is the failover term this follower has adopted — what it advertises
+// on every request to the primary.
+func (f *Follower) epoch() uint64 {
+	if f.cfg.Store != nil {
+		e, _, _ := f.cfg.Store.Epoch()
+		return e
+	}
+	return f.memEpoch.Load()
+}
+
+// lastRespEpoch is the term the primary stamped on its latest response.
+func (f *Follower) lastRespEpoch() uint64 { return f.respEpoch.Load() }
+
+// adoptEpoch durably records a higher term (fence file when a store is
+// attached). Adopting never grants write ownership.
+func (f *Follower) adoptEpoch(epoch, start uint64) {
+	if epoch <= f.epoch() {
+		return
+	}
+	if f.cfg.Store != nil {
+		if err := f.cfg.Store.AdoptEpoch(epoch, start); err != nil {
+			f.logf("replicate: adopting epoch %d: %v", epoch, err)
+			return
+		}
+	}
+	f.memEpoch.Store(epoch)
+	f.epochAdopts.Add(1)
+	f.logf("replicate: adopted epoch %d (starts at version %d)", epoch, start)
 }
 
 func normalizePrimaryURL(raw string) (string, error) {
@@ -141,38 +196,132 @@ func (f *Follower) Bootstrap(ctx context.Context) error {
 	f.primaryVersion.Store(m.Version)
 	f.noteContact()
 	if f.cfg.Graph.Version() == 0 && m.Snapshot != nil {
-		g, version, mark, writtenAt, n, err := f.fetchSnapshot(ctx, m.Snapshot.Name)
+		g, hdr, n, err := f.fetchSnapshot(ctx, m.Snapshot.Name)
 		if err != nil {
 			return err
 		}
-		if err := f.cfg.Graph.RestoreAt(g, version, mark, writtenAt); err != nil {
+		if err := f.cfg.Graph.RestoreAt(g, hdr.Version, hdr.Mark, hdr.WrittenAt); err != nil {
 			return fmt.Errorf("replicate: seeding graph from shipped snapshot: %w", err)
 		}
 		f.bytesShipped.Add(uint64(n))
-		f.logf("replicate: bootstrapped from snapshot %s: version %d, %d edges", m.Snapshot.Name, version, g.NumEdges())
+		f.logf("replicate: bootstrapped from snapshot %s: version %d, %d edges", m.Snapshot.Name, hdr.Version, g.NumEdges())
+	}
+	// A primary already in a later term than ours: adopt it now when our
+	// history is provably a shared prefix; a forked history is left for the
+	// tail loop, whose epoch check pushes it through a boundary resync.
+	if ClassifyEpoch(f.epoch(), m.Epoch, f.cfg.Graph.Version(), m.EpochVersion) == EpochAdopt {
+		f.adoptEpoch(m.Epoch, m.EpochVersion)
 	}
 	f.bootstrapped.Store(true)
 	return nil
 }
 
+// EpochAction is ClassifyEpoch's verdict on one replication response.
+type EpochAction int
+
+const (
+	// EpochOK: terms match — apply the response normally.
+	EpochOK EpochAction = iota
+	// EpochStale: the responder is in an older term than we are — it is a
+	// deposed primary (or a replica of one); nothing it sends may be
+	// applied.
+	EpochStale
+	// EpochAdopt: the responder is in a newer term and our entire history
+	// predates that term's first version, so it is a shared prefix of the
+	// new timeline — adopt the term durably and keep tailing in place.
+	EpochAdopt
+	// EpochResync: the responder is in a newer term and we hold versions at
+	// or past the term boundary — versions that may belong to the abandoned
+	// timeline. Local history cannot be trusted past the fork; converge by
+	// snapshot diff, then force version and watermark onto the new timeline.
+	EpochResync
+)
+
+func (a EpochAction) String() string {
+	switch a {
+	case EpochOK:
+		return "ok"
+	case EpochStale:
+		return "stale"
+	case EpochAdopt:
+		return "adopt"
+	case EpochResync:
+		return "resync"
+	}
+	return fmt.Sprintf("EpochAction(%d)", int(a))
+}
+
+// ClassifyEpoch decides what a follower at (localEpoch, localVersion) must
+// do with a response from a node at respEpoch whose term began at epochStart
+// (0 = unknown). The rule that makes fencing safe: a version is only
+// trustworthy if it was assigned in a term ≤ the term we have adopted, and a
+// higher-term node's history only shares our prefix strictly below its
+// term's first version. An unknown boundary forces the conservative resync.
+func ClassifyEpoch(localEpoch, respEpoch, localVersion, epochStart uint64) EpochAction {
+	switch {
+	case respEpoch < localEpoch:
+		return EpochStale
+	case respEpoch == localEpoch:
+		return EpochOK
+	case epochStart == 0 || localVersion >= epochStart:
+		return EpochResync
+	default:
+		return EpochAdopt
+	}
+}
+
+// Sentinels tailOnce raises when the primary's advertised epoch disagrees
+// with ours; Run turns them into a hard reject (stale) or a manifest-driven
+// adopt/resync (ahead).
+var (
+	errEpochStale = errors.New("replicate: primary is in an older epoch than this follower")
+	errEpochAhead = errors.New("replicate: primary is in a newer epoch than this follower")
+)
+
 // Run tails the primary until ctx is canceled, applying each shipped record
-// at its explicit version. Stream breaks reconnect with exponential backoff,
+// at its explicit version. Stream breaks reconnect with jittered exponential
+// backoff (a Retry-After from a degraded primary overrides it when longer),
 // resuming from the last locally applied version; a 410 Gone (the primary
-// truncated past our position) triggers a snapshot resync. Run returns nil
+// truncated past our position) triggers a snapshot resync, and an epoch
+// mismatch triggers adopt/boundary-resync per ClassifyEpoch. Run returns nil
 // on cancellation — any terminal error would mean giving up on replication,
 // which a replica never does while alive.
 func (f *Follower) Run(ctx context.Context) error {
 	backoff := f.cfg.retryMin()
 	for ctx.Err() == nil {
 		status, err := f.tailOnce(ctx)
-		if err != nil {
+		switch {
+		case errors.Is(err, errEpochAhead):
+			if err := f.handleEpochAhead(ctx); err != nil {
+				if ctx.Err() != nil {
+					return nil
+				}
+				f.logf("replicate: epoch-boundary resync: %v (retrying)", err)
+				if !f.pause(ctx, f.cfg.retryMax()) {
+					return nil
+				}
+			}
+			backoff = f.cfg.retryMin()
+			continue
+		case errors.Is(err, errEpochStale):
+			// A deposed primary cannot become current again by waiting; back
+			// off at the cap until an operator re-points us (/v1/admin/follow)
+			// or the node is rebooted into the new timeline.
+			f.epochRejects.Add(1)
+			f.logf("replicate: %s answers with epoch %d below ours (%d); refusing its records until re-pointed",
+				f.base, f.lastRespEpoch(), f.epoch())
+			if !f.pause(ctx, f.cfg.retryMax()) {
+				return nil
+			}
+			continue
+		case err != nil:
 			if ctx.Err() != nil {
-				break
+				return nil
 			}
 			f.reconnects.Add(1)
-			f.logf("replicate: tail from %s: %v (retrying in %v)", f.base, err, backoff)
-			if !sleepCtx(ctx, backoff) {
-				break
+			f.logf("replicate: tail from %s: %v (retrying in ~%v)", f.base, err, backoff)
+			if !f.pause(ctx, backoff) {
+				return nil
 			}
 			if backoff *= 2; backoff > f.cfg.retryMax() {
 				backoff = f.cfg.retryMax()
@@ -183,11 +332,11 @@ func (f *Follower) Run(ctx context.Context) error {
 		if status == http.StatusGone {
 			if err := f.resync(ctx); err != nil {
 				if ctx.Err() != nil {
-					break
+					return nil
 				}
-				f.logf("replicate: snapshot resync: %v (retrying in %v)", err, f.cfg.retryMax())
-				if !sleepCtx(ctx, f.cfg.retryMax()) {
-					break
+				f.logf("replicate: snapshot resync: %v (retrying)", err)
+				if !f.pause(ctx, f.cfg.retryMax()) {
+					return nil
 				}
 			}
 		}
@@ -195,9 +344,46 @@ func (f *Follower) Run(ctx context.Context) error {
 	return nil
 }
 
+// pause sleeps one backoff step: base jittered into [base/2, base] so
+// followers desynchronize, raised to the primary's Retry-After request when
+// that is longer. The slept time feeds the repl_backoff_seconds metric.
+func (f *Follower) pause(ctx context.Context, base time.Duration) bool {
+	d := base/2 + time.Duration(rand.Int63n(int64(base/2)+1))
+	if hint := time.Duration(f.retryAfterHint.Swap(0)); hint > d {
+		d = hint
+	}
+	f.backoffNanos.Add(int64(d))
+	return sleepCtx(ctx, d)
+}
+
+// handleEpochAhead runs after a response advertised a term above ours:
+// re-fetch the manifest (it carries the term's first version, which the
+// header cannot) and either adopt in place or converge through an
+// epoch-boundary resync.
+func (f *Follower) handleEpochAhead(ctx context.Context) error {
+	m, err := f.fetchManifest(ctx)
+	if err != nil {
+		return err
+	}
+	f.primaryVersion.Store(m.Version)
+	f.noteContact()
+	switch ClassifyEpoch(f.epoch(), m.Epoch, f.cfg.Graph.Version(), m.EpochVersion) {
+	case EpochAdopt:
+		f.adoptEpoch(m.Epoch, m.EpochVersion)
+		return nil
+	case EpochResync:
+		return f.epochResync(ctx, m)
+	default:
+		// The manifest caught up with (or fell behind) the header race;
+		// the next tail request re-evaluates.
+		return nil
+	}
+}
+
 // tailOnce issues one tail request from the current graph version and
 // applies whatever comes back. It returns the HTTP status for flow control
-// (200 applied, 204 idle, 410 needs resync) or an error for retryable
+// (200 applied, 204 idle, 410 needs resync), an epoch sentinel when the
+// primary's term disagrees with ours, or an error for retryable
 // transport/server failures.
 func (f *Follower) tailOnce(ctx context.Context) (int, error) {
 	from := f.cfg.Graph.Version()
@@ -206,6 +392,7 @@ func (f *Follower) tailOnce(ctx context.Context) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	req.Header.Set(hdrEpoch, strconv.FormatUint(f.epoch(), 10))
 	resp, err := f.client.Do(req)
 	if err != nil {
 		return 0, err
@@ -213,6 +400,24 @@ func (f *Follower) tailOnce(ctx context.Context) (int, error) {
 	defer resp.Body.Close()
 	if v, err := strconv.ParseUint(resp.Header.Get(hdrPrimaryVersion), 10, 64); err == nil {
 		f.primaryVersion.Store(v)
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.ParseFloat(s, 64); err == nil && secs > 0 {
+			f.retryAfterHint.Store(int64(secs * float64(time.Second)))
+		}
+	}
+	if raw := resp.Header.Get(hdrEpoch); raw != "" {
+		if e, err := strconv.ParseUint(raw, 10, 64); err == nil {
+			f.respEpoch.Store(e)
+			switch local := f.epoch(); {
+			case e < local:
+				f.noteContact()
+				return 0, errEpochStale
+			case e > local:
+				f.noteContact()
+				return 0, errEpochAhead
+			}
+		}
 	}
 	switch resp.StatusCode {
 	case http.StatusOK:
@@ -272,6 +477,13 @@ func (f *Follower) applyFrames(payload []byte) error {
 			g.AdvanceMarkTo(rec.Mark)
 			g.AdvanceVersionTo(rec.Version)
 			f.tombstonesApplied.Add(1)
+		case persist.RecordEpochFence:
+			// The new primary's fence record arriving in version order means
+			// our whole history is the new timeline's prefix: adopt the term
+			// in place, no resync needed. The version bump is the record's
+			// only graph effect.
+			g.AdvanceVersionTo(rec.Version)
+			f.adoptEpoch(rec.Epoch, rec.Version)
 		default:
 			g.Append(rec.Edges)
 			g.AdvanceVersionTo(rec.Version)
@@ -309,12 +521,34 @@ func (f *Follower) resync(ctx context.Context) error {
 		// either work or push us back here with a fresher listing.
 		return nil
 	}
-	target, version, mark, _, n, err := f.fetchSnapshot(ctx, m.Snapshot.Name)
+	target, hdr, n, err := f.fetchSnapshot(ctx, m.Snapshot.Name)
 	if err != nil {
 		return err
 	}
+	deletes, inserts := f.diffOnto(target)
+	g.AdvanceVersionTo(hdr.Version)
+	g.AdvanceMarkTo(hdr.Mark)
+	f.bytesShipped.Add(uint64(n))
+	f.resyncs.Add(1)
+	f.updateLag()
+	f.logf("replicate: resynced to snapshot version %d (-%d/+%d edges)", hdr.Version, len(deletes), len(inserts))
+	if f.cfg.Store != nil {
+		// The diff was applied without journaling (its operations are not
+		// primary history); a forced snapshot makes the converged state
+		// durable and truncates the now-stale local WAL.
+		if err := f.cfg.Store.Snapshot(); err != nil {
+			f.journalErrs.Add(1)
+			f.logf("replicate: snapshot after resync: %v", err)
+		}
+	}
+	return nil
+}
+
+// diffOnto converges the live graph's edge set onto target via the same
+// Remove/Append set difference the 410 resync uses, returning both halves.
+func (f *Follower) diffOnto(target *bipartite.Graph) (deletes, inserts []bipartite.Edge) {
+	g := f.cfg.Graph
 	local, _ := g.Snapshot()
-	var deletes, inserts []bipartite.Edge
 	local.Edges(func(e bipartite.Edge) bool {
 		if !target.HasEdge(e.U, e.V) {
 			deletes = append(deletes, e)
@@ -329,21 +563,60 @@ func (f *Follower) resync(ctx context.Context) error {
 	})
 	g.Remove(deletes)
 	g.Append(inserts)
-	g.AdvanceVersionTo(version)
-	g.AdvanceMarkTo(mark)
-	f.bytesShipped.Add(uint64(n))
-	f.resyncs.Add(1)
-	f.updateLag()
-	f.logf("replicate: resynced to snapshot version %d (-%d/+%d edges)", version, len(deletes), len(inserts))
+	return deletes, inserts
+}
+
+// epochResync converges a forked follower onto a new primary's timeline.
+// The follower holds versions at or past the term boundary that the new
+// primary may never have had (the abandoned timeline), so unlike the 410
+// resync the version counter must move BACKWARDS — to the primary's newest
+// snapshot (or to zero when it has none yet, in which case the target is the
+// empty graph and the tail replays the whole new timeline).
+//
+// Order is crash-safe by construction: diff the graph onto the target, force
+// version+watermark, wipe the local store (Rewind: all snapshots + WAL —
+// they describe the abandoned timeline), adopt the new term, then cut a
+// fresh snapshot of the converged state. A crash before AdoptEpoch leaves
+// the old (or an empty) epoch on disk, so the reboot re-enters this path and
+// re-converges; a crash after it leaves an empty store in the new term,
+// which tails forward from zero. At no point can the node serve the
+// abandoned timeline under the new term's epoch.
+func (f *Follower) epochResync(ctx context.Context, m Manifest) error {
+	g := f.cfg.Graph
+	var target *bipartite.Graph
+	var hdr persist.SnapshotHeader
+	if m.Snapshot != nil {
+		t, h, n, err := f.fetchSnapshot(ctx, m.Snapshot.Name)
+		if err != nil {
+			return err
+		}
+		target, hdr = t, h
+		f.bytesShipped.Add(uint64(n))
+	} else {
+		target = bipartite.NewBuilder().Build()
+	}
+	deletes, inserts := f.diffOnto(target)
+	g.ForceVersionTo(hdr.Version)
+	g.ForceMarkTo(hdr.Mark)
 	if f.cfg.Store != nil {
-		// The diff was applied without journaling (its operations are not
-		// primary history); a forced snapshot makes the converged state
-		// durable and truncates the now-stale local WAL.
-		if err := f.cfg.Store.Snapshot(); err != nil {
-			f.journalErrs.Add(1)
-			f.logf("replicate: snapshot after resync: %v", err)
+		if err := f.cfg.Store.Rewind(); err != nil {
+			return fmt.Errorf("rewinding store across epoch boundary: %w", err)
 		}
 	}
+	f.adoptEpoch(m.Epoch, m.EpochVersion)
+	if f.cfg.Store != nil {
+		if err := f.cfg.Store.Snapshot(); err != nil {
+			f.journalErrs.Add(1)
+			f.logf("replicate: snapshot after epoch resync: %v", err)
+		}
+	}
+	if f.cfg.FlushCache != nil {
+		f.cfg.FlushCache()
+	}
+	f.epochResyncs.Add(1)
+	f.updateLag()
+	f.logf("replicate: epoch-boundary resync to epoch %d at version %d (-%d/+%d edges)",
+		m.Epoch, hdr.Version, len(deletes), len(inserts))
 	return nil
 }
 
@@ -352,6 +625,7 @@ func (f *Follower) fetchManifest(ctx context.Context) (Manifest, error) {
 	if err != nil {
 		return Manifest{}, err
 	}
+	req.Header.Set(hdrEpoch, strconv.FormatUint(f.epoch(), 10))
 	resp, err := f.client.Do(req)
 	if err != nil {
 		return Manifest{}, fmt.Errorf("replicate: fetching manifest: %w", err)
@@ -368,26 +642,27 @@ func (f *Follower) fetchManifest(ctx context.Context) (Manifest, error) {
 }
 
 // fetchSnapshot downloads and decodes one snapshot, returning the validated
-// graph and the byte count shipped.
-func (f *Follower) fetchSnapshot(ctx context.Context, name string) (*bipartite.Graph, uint64, stream.WindowMark, int64, int64, error) {
+// graph, its header, and the byte count shipped.
+func (f *Follower) fetchSnapshot(ctx context.Context, name string) (*bipartite.Graph, persist.SnapshotHeader, int64, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.base+"/v1/repl/snapshot/"+url.PathEscape(name), nil)
 	if err != nil {
-		return nil, 0, stream.WindowMark{}, 0, 0, err
+		return nil, persist.SnapshotHeader{}, 0, err
 	}
+	req.Header.Set(hdrEpoch, strconv.FormatUint(f.epoch(), 10))
 	resp, err := f.client.Do(req)
 	if err != nil {
-		return nil, 0, stream.WindowMark{}, 0, 0, fmt.Errorf("replicate: fetching snapshot %s: %w", name, err)
+		return nil, persist.SnapshotHeader{}, 0, fmt.Errorf("replicate: fetching snapshot %s: %w", name, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, 0, stream.WindowMark{}, 0, 0, fmt.Errorf("replicate: snapshot %s: primary answered %s", name, resp.Status)
+		return nil, persist.SnapshotHeader{}, 0, fmt.Errorf("replicate: snapshot %s: primary answered %s", name, resp.Status)
 	}
 	cr := &countingReader{r: resp.Body}
-	g, version, mark, writtenAt, err := persist.DecodeSnapshot(cr)
+	g, hdr, err := persist.DecodeSnapshot(cr)
 	if err != nil {
-		return nil, 0, stream.WindowMark{}, 0, 0, err
+		return nil, persist.SnapshotHeader{}, 0, err
 	}
-	return g, version, mark, writtenAt, cr.n, nil
+	return g, hdr, cr.n, nil
 }
 
 type countingReader struct {
@@ -456,12 +731,22 @@ type FollowerStats struct {
 	VersionsBehind    uint64  `json:"versions_behind"`
 	SecondsBehind     float64 `json:"seconds_behind"`
 	Bootstrapped      bool    `json:"bootstrapped"`
+	Epoch             uint64  `json:"epoch"`
 	BytesShipped      uint64  `json:"bytes_shipped"`
 	RecordsApplied    uint64  `json:"records_applied"`
 	TombstonesApplied uint64  `json:"tombstones_applied"`
 	Resyncs           uint64  `json:"resyncs"`
 	Reconnects        uint64  `json:"reconnects"`
 	JournalErrors     uint64  `json:"journal_errors"`
+	// EpochAdopts counts higher terms adopted in place; EpochResyncs counts
+	// boundary resyncs off an abandoned timeline; EpochRejects counts
+	// responses refused because the sender's term was below ours.
+	EpochAdopts  uint64 `json:"epoch_adopts"`
+	EpochResyncs uint64 `json:"epoch_resyncs"`
+	EpochRejects uint64 `json:"epoch_rejects"`
+	// BackoffSeconds is cumulative time spent sleeping between retries —
+	// the ensemfdetd_repl_backoff_seconds metric.
+	BackoffSeconds float64 `json:"backoff_seconds"`
 }
 
 // Stats returns current replication counters.
@@ -474,12 +759,17 @@ func (f *Follower) Stats() FollowerStats {
 		VersionsBehind:    behind,
 		SecondsBehind:     seconds,
 		Bootstrapped:      f.bootstrapped.Load(),
+		Epoch:             f.epoch(),
 		BytesShipped:      f.bytesShipped.Load(),
 		RecordsApplied:    f.recordsApplied.Load(),
 		TombstonesApplied: f.tombstonesApplied.Load(),
 		Resyncs:           f.resyncs.Load(),
 		Reconnects:        f.reconnects.Load(),
 		JournalErrors:     f.journalErrs.Load(),
+		EpochAdopts:       f.epochAdopts.Load(),
+		EpochResyncs:      f.epochResyncs.Load(),
+		EpochRejects:      f.epochRejects.Load(),
+		BackoffSeconds:    time.Duration(f.backoffNanos.Load()).Seconds(),
 	}
 }
 
@@ -623,7 +913,7 @@ func downloadAttempt(ctx context.Context, client *http.Client, base, dataDir str
 		if f, err := os.Open(dest); err != nil {
 			return err
 		} else {
-			_, _, _, _, derr := persist.DecodeSnapshot(f)
+			_, _, derr := persist.DecodeSnapshot(f)
 			f.Close()
 			if derr != nil {
 				return fmt.Errorf("validating shipped snapshot: %w", derr)

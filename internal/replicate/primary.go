@@ -43,11 +43,16 @@ import (
 
 // Tail response headers: the highest record version included, the primary's
 // current graph version (the follower's lag reference, present on empty
-// responses too), and the record count.
+// responses too), and the record count. hdrEpoch travels both ways: every
+// replication response carries the primary's failover epoch, and every
+// follower request carries the follower's — which is how a deposed primary
+// learns it has been deposed without any coordinator (a follower that
+// adopted a higher term keeps gossiping it back on its next request).
 const (
 	hdrLastVersion    = "X-Repl-Last-Version"
 	hdrPrimaryVersion = "X-Repl-Primary-Version"
 	hdrRecords        = "X-Repl-Records"
+	hdrEpoch          = "X-Repl-Epoch"
 )
 
 // PrimaryConfig configures the serving half.
@@ -63,6 +68,12 @@ type PrimaryConfig struct {
 	// period while waiting (0 → 25ms).
 	MaxWait time.Duration
 	Poll    time.Duration
+	// OnHigherEpoch, when non-nil, runs after the built-in self-fence when a
+	// follower request advertises an epoch above this primary's — the moment
+	// a deposed primary learns a follower was promoted. The store has
+	// already adopted the higher epoch (dropping write ownership) before the
+	// callback fires.
+	OnHigherEpoch func(epoch uint64)
 	// Logf receives shipping warnings (nil → log.Printf).
 	Logf func(string, ...any)
 }
@@ -106,6 +117,40 @@ type Primary struct {
 	tailBytes    atomic.Uint64
 	filesShipped atomic.Uint64
 	fileBytes    atomic.Uint64
+	epochFences  atomic.Uint64
+}
+
+// epoch is the term this serving half stamps on every response.
+func (p *Primary) epoch() uint64 {
+	e, _, _ := p.cfg.Store.Epoch()
+	return e
+}
+
+// observeEpoch inspects the follower's advertised epoch on an incoming
+// replication request. A higher term is proof positive that a promotion
+// happened elsewhere: this primary immediately and durably adopts the term
+// (losing write ownership — the fail-stop half of fencing), so it can never
+// again acknowledge local ingest, then notifies OnHigherEpoch. Serving
+// replication reads continues: the shipped history below the fork is still
+// valid, and a lagging follower may need it.
+func (p *Primary) observeEpoch(r *http.Request) {
+	raw := r.Header.Get(hdrEpoch)
+	if raw == "" {
+		return
+	}
+	remote, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil || remote <= p.epoch() {
+		return
+	}
+	p.epochFences.Add(1)
+	if err := p.cfg.Store.AdoptEpoch(remote, 0); err != nil {
+		p.logf("replicate: adopting epoch %d observed from %s: %v", remote, r.RemoteAddr, err)
+		return
+	}
+	p.logf("replicate: fenced — follower %s advertises epoch %d; local writes now rejected", r.RemoteAddr, remote)
+	if p.cfg.OnHigherEpoch != nil {
+		p.cfg.OnHigherEpoch(remote)
+	}
 }
 
 // NewPrimary returns the serving half over cfg.Store; it panics on a nil
@@ -140,6 +185,7 @@ func (p *Primary) Handler() http.Handler {
 }
 
 func (p *Primary) handleManifest(w http.ResponseWriter, r *http.Request) {
+	p.observeEpoch(r)
 	m, err := p.cfg.Store.Manifest()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
@@ -147,6 +193,7 @@ func (p *Primary) handleManifest(w http.ResponseWriter, r *http.Request) {
 	}
 	p.manifests.Add(1)
 	w.Header().Set(hdrPrimaryVersion, strconv.FormatUint(p.cfg.Version(), 10))
+	w.Header().Set(hdrEpoch, strconv.FormatUint(m.Epoch, 10))
 	writeJSON(w, http.StatusOK, Manifest{Version: p.cfg.Version(), Manifest: m})
 }
 
@@ -154,6 +201,8 @@ func (p *Primary) handleManifest(w http.ResponseWriter, r *http.Request) {
 // (which validates the name and re-derives the path) pins the readable size,
 // so a segment racing new appends still ships a clean prefix.
 func (p *Primary) handleFile(w http.ResponseWriter, r *http.Request, open func(string) (io.ReadCloser, int64, error)) {
+	p.observeEpoch(r)
+	w.Header().Set(hdrEpoch, strconv.FormatUint(p.epoch(), 10))
 	rc, size, err := open(r.PathValue("name"))
 	if err != nil {
 		status := http.StatusInternalServerError
@@ -182,6 +231,8 @@ func (p *Primary) handleFile(w http.ResponseWriter, r *http.Request, open func(s
 // must resync from a snapshot.
 func (p *Primary) handleTail(w http.ResponseWriter, r *http.Request) {
 	p.tailRequests.Add(1)
+	p.observeEpoch(r)
+	w.Header().Set(hdrEpoch, strconv.FormatUint(p.epoch(), 10))
 	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad from: %w", err))
@@ -250,6 +301,9 @@ type PrimaryStats struct {
 	TailBytes    uint64 `json:"tail_bytes"`
 	FilesShipped uint64 `json:"files_shipped"`
 	FileBytes    uint64 `json:"file_bytes"`
+	// EpochFences counts requests that advertised a higher epoch than ours —
+	// each one is an observation that this node was deposed.
+	EpochFences uint64 `json:"epoch_fences"`
 }
 
 // Stats returns current shipping counters.
@@ -261,6 +315,7 @@ func (p *Primary) Stats() PrimaryStats {
 		TailBytes:    p.tailBytes.Load(),
 		FilesShipped: p.filesShipped.Load(),
 		FileBytes:    p.fileBytes.Load(),
+		EpochFences:  p.epochFences.Load(),
 	}
 }
 

@@ -326,6 +326,19 @@ func (e *Engine) evictLocked() {
 	e.order = kept
 }
 
+// FlushCache drops every cached vote set, including keys with runs still in
+// flight (their waiters keep the entry pointer; fresh requests recompute).
+// The cache is keyed on the numeric graph version, so it is only coherent
+// while versions never repeat — an epoch-boundary resync moves the version
+// backwards, after which a re-reached version number names different graph
+// content and every pre-resync entry is poison.
+func (e *Engine) FlushCache() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	clear(e.cache)
+	e.order = e.order[:0]
+}
+
 func entryDone(ent *entry) bool {
 	select {
 	case <-ent.done:
@@ -527,8 +540,15 @@ type Stats struct {
 // serve stays free of a replicate import. Primary-side fields are zero on a
 // follower and vice versa.
 type ReplStats struct {
-	// Role is "primary" or "follower".
+	// Role is "primary", "follower", or "promoting" (mid-failover).
 	Role string `json:"role"`
+	// Epoch is the failover term this node has adopted; Fenced reports a
+	// deposed primary — it observed a higher term and rejects local writes.
+	Epoch  uint64 `json:"epoch"`
+	Fenced bool   `json:"fenced,omitempty"`
+	// Promotions counts this process's successful follower→primary
+	// transitions.
+	Promotions uint64 `json:"promotions,omitempty"`
 	// Follower side.
 	Primary           string  `json:"primary,omitempty"`
 	PrimaryVersion    uint64  `json:"primary_version,omitempty"`
@@ -540,6 +560,10 @@ type ReplStats struct {
 	Resyncs           uint64  `json:"resyncs,omitempty"`
 	Reconnects        uint64  `json:"reconnects,omitempty"`
 	JournalErrors     uint64  `json:"journal_errors,omitempty"`
+	EpochAdopts       uint64  `json:"epoch_adopts,omitempty"`
+	EpochResyncs      uint64  `json:"epoch_resyncs,omitempty"`
+	EpochRejects      uint64  `json:"epoch_rejects,omitempty"`
+	BackoffSeconds    float64 `json:"backoff_seconds,omitempty"`
 	Ready             bool    `json:"ready"`
 	// Both sides: bytes shipped over the replication channel (sent for a
 	// primary, received for a follower).
@@ -548,6 +572,7 @@ type ReplStats struct {
 	TailRequests uint64 `json:"tail_requests,omitempty"`
 	TailRecords  uint64 `json:"tail_records,omitempty"`
 	FilesShipped uint64 `json:"files_shipped,omitempty"`
+	EpochFences  uint64 `json:"epoch_fences,omitempty"`
 }
 
 // IngestStats counts what passed through Ingest (the daemon's chokepoint).

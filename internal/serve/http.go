@@ -8,9 +8,11 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"ensemfdet/internal/bipartite"
+	"ensemfdet/internal/persist"
 )
 
 // HTTP JSON API of the ensemfdetd daemon. All endpoints speak JSON; errors
@@ -40,17 +42,42 @@ type HandlerConfig struct {
 	// guard. Reads and POST /v1/detect (a read that happens to take a body)
 	// stay open.
 	ReadOnly bool
+	// ReadOnlyFn, when non-nil, re-evaluates the write guard per request —
+	// the failover role manager flips it false at promotion without
+	// rebuilding the handler. It overrides ReadOnly.
+	ReadOnlyFn func() bool
 	// PrimaryURL, on a read-only daemon, names the primary in rejection
-	// bodies so a misdirected writer knows where to go.
-	PrimaryURL string
+	// bodies so a misdirected writer knows where to go. PrimaryURLFn, when
+	// non-nil, overrides it per request (runtime re-pointing moves it).
+	PrimaryURL   string
+	PrimaryURLFn func() string
 	// Repl, when non-nil, is mounted under GET /v1/repl/ (the replication
 	// shipping endpoints, an http.Handler so serve never imports replicate).
 	Repl http.Handler
+	// Admin, when non-nil, is mounted under POST /v1/admin/ (the failover
+	// control surface: promote, follow). Admin routes are exempt from the
+	// read-only guard — promotion is exactly the operation that must work on
+	// a read-only follower.
+	Admin http.Handler
 	// Ready gates GET /readyz; nil means ready as soon as the handler is
 	// serving (a primary is ready once recovery built it).
 	Ready func() (bool, string)
 	// Version, when set, is exported as the ensemfdetd_build_info metric.
 	Version string
+}
+
+func (cfg HandlerConfig) readOnly() bool {
+	if cfg.ReadOnlyFn != nil {
+		return cfg.ReadOnlyFn()
+	}
+	return cfg.ReadOnly
+}
+
+func (cfg HandlerConfig) primaryURL() string {
+	if cfg.PrimaryURLFn != nil {
+		return cfg.PrimaryURLFn()
+	}
+	return cfg.PrimaryURL
 }
 
 // NewHandlerWith returns the routing handler over e shaped by cfg.
@@ -80,8 +107,11 @@ func NewHandlerWith(e *Engine, cfg HandlerConfig) http.Handler {
 	if cfg.Repl != nil {
 		mux.Handle("GET /v1/repl/", cfg.Repl)
 	}
-	if cfg.ReadOnly {
-		return readOnlyGuard(mux, cfg.PrimaryURL)
+	if cfg.Admin != nil {
+		mux.Handle("POST /v1/admin/", cfg.Admin)
+	}
+	if cfg.ReadOnly || cfg.ReadOnlyFn != nil {
+		return readOnlyGuard(mux, cfg)
 	}
 	return mux
 }
@@ -89,20 +119,24 @@ func NewHandlerWith(e *Engine, cfg HandlerConfig) http.Handler {
 // readOnlyGuard is the follower's write guard: every non-read method is
 // rejected before routing — including mutating routes added in the future,
 // which is why this is a method filter and not a per-route check — except
-// POST /v1/detect, a read that carries its parameters in a body. The 403
-// body names the primary so a misdirected writer can redirect itself.
-func readOnlyGuard(next http.Handler, primaryURL string) http.Handler {
+// POST /v1/detect (a read that carries its parameters in a body) and the
+// /v1/admin/ control surface (promotion must work on a read-only follower —
+// it is how the follower stops being one). The 403 body names the primary
+// so a misdirected writer can redirect itself.
+func readOnlyGuard(next http.Handler, cfg HandlerConfig) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		switch r.Method {
-		case http.MethodGet, http.MethodHead, http.MethodOptions:
-		case http.MethodPost:
-			if r.URL.Path != "/v1/detect" {
-				rejectWrite(w, primaryURL)
+		if cfg.readOnly() {
+			switch r.Method {
+			case http.MethodGet, http.MethodHead, http.MethodOptions:
+			case http.MethodPost:
+				if r.URL.Path != "/v1/detect" && !strings.HasPrefix(r.URL.Path, "/v1/admin/") {
+					rejectWrite(w, cfg.primaryURL())
+					return
+				}
+			default:
+				rejectWrite(w, cfg.primaryURL())
 				return
 			}
-		default:
-			rejectWrite(w, primaryURL)
-			return
 		}
 		next.ServeHTTP(w, r)
 	})
@@ -126,6 +160,29 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// writeIngestError maps an ingest failure onto the durability contract:
+//
+//   - ErrDegraded → 503 with Retry-After and "degraded": true. The store's
+//     WAL rejected the batch but is healing itself via a snapshot; the
+//     client should retry after the hinted delay (dedup makes that safe).
+//     A bare 500 here taught clients to treat the outage as fatal.
+//   - ErrFenced → 409 with "fenced": true. This node observed a higher
+//     failover epoch — it is a deposed primary and retrying against it can
+//     never succeed; the error body names the ruling epoch.
+//
+// Everything else falls through to the generic mapping.
+func writeIngestError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, persist.ErrDegraded):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": err.Error(), "degraded": true})
+	case errors.Is(err, persist.ErrFenced):
+		writeJSON(w, http.StatusConflict, map[string]any{"error": err.Error(), "fenced": true})
+	default:
+		writeError(w, statusFor(err), err)
+	}
 }
 
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
@@ -189,10 +246,11 @@ func handleEdges(e *Engine, w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := e.Ingest(batch)
 	if err != nil {
-		// An id-bound rejection is the client's to fix (400); a journal
-		// failure is a server-side durability fault (500) — the client
-		// should retry once the log is healthy, and dedup makes that safe.
-		writeError(w, statusFor(err), err)
+		// An id-bound rejection is the client's to fix (400); a degraded
+		// WAL is a retryable outage (503 + Retry-After — dedup makes the
+		// retry safe); a fenced store is neither (409): this node was
+		// deposed and the client must re-target the new primary.
+		writeIngestError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, edgesResponse{

@@ -91,10 +91,18 @@ func handleMetrics(e *Engine, version string, w http.ResponseWriter, _ *http.Req
 		fmt.Fprintf(w, "# HELP %s Replication role of this daemon, value always 1.\n# TYPE %s gauge\n", role, role)
 		fmt.Fprintf(w, "%s{role=%q} 1\n", role, rp.Role)
 		counter("ensemfdetd_repl_bytes_shipped_total", "Bytes shipped over the replication channel (sent by a primary, received by a follower).", rp.BytesShipped)
+		gauge("ensemfdetd_repl_epoch", "Failover epoch (term) this node has adopted.", int64(rp.Epoch))
+		fenced := int64(0)
+		if rp.Fenced {
+			fenced = 1
+		}
+		gauge("ensemfdetd_repl_fenced", "Whether this node is a deposed primary rejecting local writes.", fenced)
+		counter("ensemfdetd_repl_promotions_total", "Follower-to-primary promotions performed by this process.", rp.Promotions)
 		if rp.Role == "primary" {
 			counter("ensemfdetd_repl_tail_requests_total", "Tail requests answered for followers.", rp.TailRequests)
 			counter("ensemfdetd_repl_tail_records_total", "WAL records shipped through the tail endpoint.", rp.TailRecords)
 			counter("ensemfdetd_repl_files_shipped_total", "Snapshot and segment files shipped to bootstrapping followers.", rp.FilesShipped)
+			counter("ensemfdetd_repl_epoch_fences_total", "Requests observed advertising a higher epoch than ours (deposition signals).", rp.EpochFences)
 		} else {
 			gauge("ensemfdetd_repl_versions_behind", "Graph versions this follower lags its primary by.", int64(rp.VersionsBehind))
 			const sb = "ensemfdetd_repl_seconds_behind"
@@ -105,6 +113,12 @@ func handleMetrics(e *Engine, version string, w http.ResponseWriter, _ *http.Req
 			counter("ensemfdetd_repl_resyncs_total", "Snapshot resyncs after the primary truncated past this follower.", rp.Resyncs)
 			counter("ensemfdetd_repl_reconnects_total", "Tail stream breaks that triggered a reconnect.", rp.Reconnects)
 			counter("ensemfdetd_repl_journal_errors_total", "Replicated records that failed to reach the local WAL.", rp.JournalErrors)
+			counter("ensemfdetd_repl_epoch_adopts_total", "Higher failover epochs adopted in place.", rp.EpochAdopts)
+			counter("ensemfdetd_repl_epoch_resyncs_total", "Epoch-boundary resyncs off an abandoned timeline.", rp.EpochResyncs)
+			counter("ensemfdetd_repl_epoch_rejects_total", "Replication responses refused because the sender's epoch was below ours.", rp.EpochRejects)
+			const bo = "ensemfdetd_repl_backoff_seconds"
+			fmt.Fprintf(w, "# HELP %s Cumulative seconds spent sleeping between replication retries.\n# TYPE %s counter\n%s %s\n",
+				bo, bo, bo, formatSeconds(rp.BackoffSeconds))
 			ready := int64(0)
 			if rp.Ready {
 				ready = 1

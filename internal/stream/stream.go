@@ -527,6 +527,31 @@ func (g *Graph) AdvanceVersionTo(v uint64) {
 	atomicMaxU64(&g.version, v)
 }
 
+// ForceVersionTo sets the version counter to exactly v — lower included,
+// which AdvanceVersionTo can never do. It exists for epoch-boundary resyncs
+// in failover: a follower whose history forked from a newly promoted primary
+// is diffed onto the primary's snapshot and must then adopt the snapshot's
+// version even though its own (abandoned-timeline) counter is higher.
+// Runs under the commit write lock so no in-flight append commits across the
+// change; the cached CSR snapshot keyed to the old version is invalidated by
+// the mismatch on its next read.
+func (g *Graph) ForceVersionTo(v uint64) {
+	g.commitMu.Lock()
+	defer g.commitMu.Unlock()
+	g.version.Store(v)
+	g.lastIngest.Store(v)
+}
+
+// ForceMarkTo sets the window expiry watermark to exactly mark — lower
+// included. Like ForceVersionTo it exists for epoch-boundary resyncs, where
+// the adopted snapshot's watermark replaces the abandoned timeline's.
+func (g *Graph) ForceMarkTo(mark WindowMark) {
+	g.commitMu.Lock()
+	defer g.commitMu.Unlock()
+	g.markVer.Store(mark.Version)
+	g.markWall.Store(mark.Wall)
+}
+
 // Stats is a point-in-time size summary of the dynamic graph.
 type Stats struct {
 	Version      uint64 `json:"version"`
