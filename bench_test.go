@@ -483,6 +483,83 @@ func BenchmarkDetectCold(b *testing.B) {
 	}
 }
 
+// BenchmarkDetectIncremental measures the delta-aware detect path against a
+// cold recompute at increasing ingest deltas. Each iteration applies one
+// delta-sized batch and serves one detect at the paper's N=80: the
+// incremental engine resumes from the previous version's record and re-runs
+// only the samples the delta dirtied; the cold engine recomputes all 80.
+// The batch alternates append/remove of the same fresh edges so the graph
+// size stays bounded at any b.N, and its shape is a fraud burst — fresh
+// users transacting with a few hot merchants — under which ONS-merchant
+// proves every sample that did not draw a touched merchant clean. Ingest and
+// the post-ingest CSR build run with the timer stopped (both modes pay them
+// identically; BenchmarkSnapshotDelta gates that path), so the timed region
+// is detection at an already-snapshotted version. The reused/sample metric
+// is the measured clean fraction; the incremental/cold ns/op ratio at
+// delta=0.1pct is the PR's headline speedup.
+func BenchmarkDetectIncremental(b *testing.B) {
+	base := benchGraph(b)
+	ne := base.NumEdges()
+	deltas := []struct {
+		name  string
+		edges int
+	}{
+		{"delta=1edge", 1},
+		{"delta=0.1pct", max(1, ne/1000)},
+		{"delta=1pct", max(1, ne/100)},
+		{"delta=10pct", max(1, ne/10)},
+	}
+	for _, d := range deltas {
+		// ~256 burst edges per hot merchant; fresh user ids start right above
+		// the existing range so vote-vector sizes stay realistic.
+		hot := max(1, d.edges/256)
+		batch := make([]bipartite.Edge, d.edges)
+		for j := range batch {
+			batch[j] = bipartite.Edge{U: uint32(base.NumUsers() + j), V: uint32(j % hot)}
+		}
+		for _, mode := range []struct {
+			name string
+			opts ensemfdet.EngineOptions
+		}{
+			{"incremental", ensemfdet.EngineOptions{}},
+			{"cold", ensemfdet.EngineOptions{IncrementalMaxDeltaRatio: -1}},
+		} {
+			b.Run(d.name+"/"+mode.name, func(b *testing.B) {
+				sg := ensemfdet.NewStreamGraph()
+				sg.Append(base.EdgeList())
+				e := ensemfdet.NewDetectEngine(sg, mode.opts)
+				ctx := context.Background()
+				p := ensemfdet.DetectParams{Sampler: "ONS-merchant", NumSamples: 80, SampleRatio: 0.1, Seed: 1}
+				if _, err := e.Detect(ctx, p, 40); err != nil { // warm the base
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					if i%2 == 0 {
+						sg.Append(batch)
+					} else {
+						sg.Remove(batch)
+					}
+					sg.Snapshot() // build the CSR outside the timed region
+					b.StartTimer()
+					if _, err := e.Detect(ctx, p, 40); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				st := e.Stats()
+				if mode.name == "incremental" && st.Detect.IncrementalRuns == 0 {
+					b.Fatal("no run went incremental")
+				}
+				if total := st.Detect.SamplesReused + st.Detect.SamplesRerun; total > 0 {
+					b.ReportMetric(float64(st.Detect.SamplesReused)/float64(total), "reused/sample")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkDetectCached measures the steady-state query path: same graph
 // version, same config, any threshold — a map lookup plus an O(nodes)
 // threshold scan. The cold/cached ratio is the serving layer's whole point.

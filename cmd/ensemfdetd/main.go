@@ -125,6 +125,7 @@ func run() error {
 		shards   = flag.Int("shards", 0, "ingest shard count, rounded up to a power of two (0 = near GOMAXPROCS)")
 		maxConc  = flag.Int("max-concurrent", 2, "maximum concurrent ensemble runs")
 		cacheCap = flag.Int("cache-size", 32, "maximum cached vote sets")
+		incDelta = flag.Float64("incremental-max-delta", 0.25, "run detection incrementally when the ingest delta is at most this fraction of the graph's edges (negative = always cold)")
 		maxNode  = flag.Uint("max-node-id", 0, "largest accepted node id (0 = default 2^26)")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		dataDir  = flag.String("data-dir", "", "durability directory (WAL + snapshots); empty = memory-only")
@@ -233,9 +234,10 @@ func run() error {
 	}
 
 	engine := ensemfdet.NewDetectEngine(sg, ensemfdet.EngineOptions{
-		MaxConcurrent:   *maxConc,
-		MaxCacheEntries: *cacheCap,
-		MaxNodeID:       uint32(*maxNode),
+		MaxConcurrent:            *maxConc,
+		MaxCacheEntries:          *cacheCap,
+		MaxNodeID:                uint32(*maxNode),
+		IncrementalMaxDeltaRatio: *incDelta,
 	})
 	if store != nil {
 		engine.AttachPersist(store)

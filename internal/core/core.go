@@ -60,6 +60,18 @@ type Config struct {
 	// Votes is always freshly allocated and safe to retain. Like Arenas,
 	// Scratch never affects results.
 	Scratch *RunScratch
+	// Record, when set, attaches a reuse Record to the Output: per sample,
+	// the node set the realized subgraph provably depends on (compact
+	// bitsets) and the sparse vote contribution (voted-node lists). The
+	// record is what RunIncremental consumes to re-run only the samples a
+	// later ingest delta dirtied. Recording is skipped — Output.Rec stays
+	// nil, and the run is simply not resumable — for configurations whose
+	// reuse cannot be proven: an unknown sampling method, a custom density
+	// metric or explicit merchant weights (their values need not be local to
+	// a merchant's own adjacency), or CollectScores (clean samples cannot
+	// reconstruct their score curves). Like Arenas and Scratch, Record never
+	// affects votes.
+	Record bool
 }
 
 // RunScratch holds the reusable per-run output buffers selected by
@@ -69,6 +81,7 @@ type RunScratch struct {
 	khats  []int
 	work   []time.Duration
 	scores [][]float64
+	dirty  []int // RunIncremental's dirty-sample index list
 }
 
 // Defaults for the paper's main experimental setting (§V-C1).
@@ -213,8 +226,14 @@ type Output struct {
 	// SampleWork[i] is the serial CPU-side duration of sample i
 	// (sampling + FDET). The sum is the serial cost of the parallel phase;
 	// dividing by the worker count models wall time at other parallelism
-	// levels (Table III's projection).
+	// levels (Table III's projection). A sample reused by RunIncremental
+	// reports zero work.
 	SampleWork []time.Duration
+	// Rec is the reuse record (Config.Record); nil when recording was off or
+	// the configuration is not provably resumable. Unlike the scratch-backed
+	// fields above, Rec is always freshly allocated and safe to retain — it
+	// is the incremental base the serving layer keeps across requests.
+	Rec *Record
 }
 
 // TotalWork returns the summed serial duration of all samples.
@@ -233,9 +252,38 @@ func Run(g *bipartite.Graph, cfg Config) (*Output, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	n := cfg.numSamples()
-	method := cfg.method()
-	ratio := cfg.sampleRatio()
+	env := newRunEnv(g, cfg)
+	if err := env.execute(nil); err != nil {
+		return nil, err
+	}
+	return env.out, nil
+}
+
+// runEnv is the shared execution spine of Run and RunIncremental: the frozen
+// parent weights, the output being filled, the optional reuse record, and
+// the worker machinery. Both entry points execute samples through exactly
+// the same code path, which is what makes incremental votes byte-identical
+// to cold ones rather than merely close.
+type runEnv struct {
+	g             *bipartite.Graph
+	cfg           Config
+	n             int
+	method        sampling.Method
+	ratio         float64
+	parentWeights []float64
+	out           *Output
+	rec           *Record
+	pool          *ArenaPool
+}
+
+func newRunEnv(g *bipartite.Graph, cfg Config) *runEnv {
+	env := &runEnv{
+		g:      g,
+		cfg:    cfg,
+		n:      cfg.numSamples(),
+		method: cfg.method(),
+		ratio:  cfg.sampleRatio(),
+	}
 
 	// Freeze the density metric's merchant weights on the parent graph so
 	// every sample judges merchants by their global popularity (camouflage
@@ -244,47 +292,63 @@ func Run(g *bipartite.Graph, cfg Config) (*Output, error) {
 	if metric == nil {
 		metric = density.Default()
 	}
-	parentWeights := cfg.FDet.MerchantWeights
-	if parentWeights == nil {
-		parentWeights = metric.MerchantWeights(g)
+	env.parentWeights = cfg.FDet.MerchantWeights
+	if env.parentWeights == nil {
+		env.parentWeights = metric.MerchantWeights(g)
 	}
 
-	out := &Output{
+	env.out = &Output{
 		Votes: Votes{
 			User:       make([]int, g.NumUsers()),
 			Merchant:   make([]int, g.NumMerchants()),
-			NumSamples: n,
+			NumSamples: env.n,
 		},
 	}
 	if s := cfg.Scratch; s != nil {
 		// Every index is overwritten by its sample before Run returns
 		// successfully, so growing without zeroing is safe.
-		out.KHats = scratch.Grow(&s.khats, n)
-		out.SampleWork = scratch.Grow(&s.work, n)
+		env.out.KHats = scratch.Grow(&s.khats, env.n)
+		env.out.SampleWork = scratch.Grow(&s.work, env.n)
 		if cfg.CollectScores {
-			out.BlockScores = scratch.Grow(&s.scores, n)
+			env.out.BlockScores = scratch.Grow(&s.scores, env.n)
 		}
 	} else {
-		out.KHats = make([]int, n)
-		out.SampleWork = make([]time.Duration, n)
+		env.out.KHats = make([]int, env.n)
+		env.out.SampleWork = make([]time.Duration, env.n)
 		if cfg.CollectScores {
-			out.BlockScores = make([][]float64, n)
+			env.out.BlockScores = make([][]float64, env.n)
 		}
 	}
 
-	pool := cfg.Arenas
-	if pool == nil {
+	if cfg.Record {
+		if kind, ok := reuseKindOf(env.method); ok && resumableConfig(cfg) {
+			env.rec = newRecord(kind, env.n, cfg.Seed, env.ratio, g)
+			env.out.Rec = env.rec
+		}
+	}
+
+	env.pool = cfg.Arenas
+	if env.pool == nil {
 		// Private pool: arenas are still recycled across the samples each
 		// worker processes within this Run, just not across Runs.
-		pool = NewArenaPool()
+		env.pool = NewArenaPool()
 	}
+	return env
+}
+
+// execute runs the given sample indices (nil means all n) through the worker
+// pool, accumulating their votes into out.Votes on top of whatever it already
+// holds. Deterministic for a fixed Config regardless of Parallelism or which
+// goroutine processes which sample.
+func (env *runEnv) execute(indices []int) error {
+	g, cfg, out, rec := env.g, env.cfg, env.out, env.rec
 
 	// A panic in a worker (sampler or FDET on a degenerate subgraph) must
 	// not crash the process: long-running callers like the serving daemon
 	// have a recover around Run, but that cannot reach goroutines spawned
 	// here. Each job recovers individually — the worker keeps draining the
 	// channel so the producer never blocks — and the first panic is
-	// reported as Run's error.
+	// reported as the run's error.
 	var (
 		panicMu  sync.Mutex
 		panicErr error
@@ -304,29 +368,54 @@ func Run(g *bipartite.Graph, cfg Config) (*Output, error) {
 		// Each sample gets its own rng derived from (Seed, i) so
 		// results do not depend on goroutine scheduling.
 		rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)*2_654_435_761 + 1))
-		sg := sampling.SampleInto(method, g, ratio, rng, &a.samp)
+		sg := sampling.SampleInto(env.method, g, env.ratio, rng, &a.samp)
+		if rec != nil {
+			drawnPrim, drawnSec := a.samp.LastDraw()
+			rec.recordDeps(i, sg, drawnPrim, drawnSec)
+		}
 		opts := cfg.FDet
 		weights := scratch.Grow(&a.weights, sg.NumMerchants())
 		for lv := range weights {
-			weights[lv] = parentWeights[sg.ParentMerchant(uint32(lv))]
+			weights[lv] = env.parentWeights[sg.ParentMerchant(uint32(lv))]
 		}
 		opts.MerchantWeights = weights
 		res := a.det.Detect(sg.Graph, opts)
 		// Cast votes in the parent id space directly off the retained
 		// blocks: the stamps dedup nodes whose edges are split across
 		// blocks, so each node votes at most once per sample (h_i(x) of
-		// Definition 4) — no union set is ever materialized.
+		// Definition 4) — no union set is ever materialized. Recording runs
+		// collect each sample's voted-node list instead of bumping dense
+		// worker accumulators; the lists are both the merge input and the
+		// sparse vote contribution a later RunIncremental subtracts.
 		a.seenU.Reset(sg.NumUsers())
 		a.seenV.Reset(sg.NumMerchants())
-		for _, blk := range res.Blocks {
-			for _, lu := range blk.Users {
-				if a.seenU.TryAdd(int(lu)) {
-					a.userVotes[sg.ParentUser(lu)]++
+		if rec != nil {
+			var vu, vm []uint32
+			for _, blk := range res.Blocks {
+				for _, lu := range blk.Users {
+					if a.seenU.TryAdd(int(lu)) {
+						vu = append(vu, sg.ParentUser(lu))
+					}
+				}
+				for _, lv := range blk.Merchants {
+					if a.seenV.TryAdd(int(lv)) {
+						vm = append(vm, sg.ParentMerchant(lv))
+					}
 				}
 			}
-			for _, lv := range blk.Merchants {
-				if a.seenV.TryAdd(int(lv)) {
-					a.merchVotes[sg.ParentMerchant(lv)]++
+			rec.votedU[i], rec.votedM[i] = vu, vm
+			rec.khats[i] = res.TruncatedAt
+		} else {
+			for _, blk := range res.Blocks {
+				for _, lu := range blk.Users {
+					if a.seenU.TryAdd(int(lu)) {
+						a.userVotes[sg.ParentUser(lu)]++
+					}
+				}
+				for _, lv := range blk.Merchants {
+					if a.seenV.TryAdd(int(lv)) {
+						a.merchVotes[sg.ParentMerchant(lv)]++
+					}
 				}
 			}
 		}
@@ -346,38 +435,72 @@ func Run(g *bipartite.Graph, cfg Config) (*Output, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			a := pool.get()
-			scratch.GrowZero(&a.userVotes, g.NumUsers())
-			scratch.GrowZero(&a.merchVotes, g.NumMerchants())
+			a := env.pool.get()
+			if rec == nil {
+				scratch.GrowZero(&a.userVotes, g.NumUsers())
+				scratch.GrowZero(&a.merchVotes, g.NumMerchants())
+			}
 			for i := range jobs {
 				runSample(a, i)
 			}
-			// Merge this worker's votes. Integer addition commutes, so the
-			// merge order (worker completion order) cannot affect results.
-			voteMu.Lock()
-			for id, c := range a.userVotes {
-				if c != 0 {
-					out.Votes.User[id] += c
+			if rec == nil {
+				// Merge this worker's votes. Integer addition commutes, so
+				// the merge order (worker completion order) cannot affect
+				// results.
+				voteMu.Lock()
+				for id, c := range a.userVotes {
+					if c != 0 {
+						out.Votes.User[id] += c
+					}
 				}
-			}
-			for id, c := range a.merchVotes {
-				if c != 0 {
-					out.Votes.Merchant[id] += c
+				for id, c := range a.merchVotes {
+					if c != 0 {
+						out.Votes.Merchant[id] += c
+					}
 				}
+				voteMu.Unlock()
 			}
-			voteMu.Unlock()
-			pool.put(a)
+			env.pool.put(a)
 		}()
 	}
-	for i := 0; i < n; i++ {
-		jobs <- i
+	if indices == nil {
+		for i := 0; i < env.n; i++ {
+			jobs <- i
+		}
+	} else {
+		for _, i := range indices {
+			jobs <- i
+		}
 	}
 	close(jobs)
 	wg.Wait()
 	if panicErr != nil {
-		return nil, panicErr
+		return panicErr
 	}
-	return out, nil
+	if rec != nil {
+		// Recording merge: add each executed sample's voted list. Serial and
+		// index-ordered, hence deterministic by construction.
+		if indices == nil {
+			for i := 0; i < env.n; i++ {
+				env.addVotes(i)
+			}
+		} else {
+			for _, i := range indices {
+				env.addVotes(i)
+			}
+		}
+	}
+	return nil
+}
+
+// addVotes folds sample i's recorded voted-node lists into the output votes.
+func (env *runEnv) addVotes(i int) {
+	for _, id := range env.rec.votedU[i] {
+		env.out.Votes.User[id]++
+	}
+	for _, id := range env.rec.votedM[i] {
+		env.out.Votes.Merchant[id]++
+	}
 }
 
 // Detect runs the full Algorithm 2 pipeline and applies MVA at threshold T,

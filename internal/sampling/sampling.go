@@ -199,6 +199,17 @@ func (s *Scratch) sampleIndices(n, m int, rng *rand.Rand) []int {
 	return out
 }
 
+// LastDraw exposes the node ids the most recent SampleInto drew, for callers
+// that need the sampled-node set itself rather than the realized subgraph
+// (the ensemble's incremental-reuse record): for ONS primary holds the drawn
+// side's ids, for TNS primary holds the drawn users and secondary the drawn
+// merchants. For RES the draw is edge indices, not node ids, and both slices
+// are meaningless. The slices alias the scratch and are valid until the next
+// SampleInto with the same scratch.
+func (s *Scratch) LastDraw() (primary, secondary []uint32) {
+	return s.uids, s.vids
+}
+
 func (s *Scratch) sampleIDs(buf *[]uint32, n, m int, rng *rand.Rand) []uint32 {
 	idx := s.sampleIndices(n, m, rng)
 	ids := scratch.Grow(buf, len(idx))

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DetectStats summarizes the detect path for /v1/stats and /metrics: how
+// often runs resumed from a previous version's record vs started cold, how
+// many ensemble samples that saved, and the end-to-end vote latency
+// distribution (cache hits included — they are detect requests too).
+type DetectStats struct {
+	// IncrementalRuns and ColdRuns partition completed ensemble runs by
+	// path; IncrementalFallbacks counts runs that found a base and a small
+	// delta but could not prove reuse (core.ErrNotResumable) and went cold —
+	// those runs are also counted in ColdRuns.
+	IncrementalRuns      uint64 `json:"incremental_runs"`
+	ColdRuns             uint64 `json:"cold_runs"`
+	IncrementalFallbacks uint64 `json:"incremental_fallbacks"`
+	// SamplesReused and SamplesRerun count ensemble samples across all
+	// completed runs: reused ones were carried over from a base unexecuted,
+	// rerun ones paid the full sample-detect-vote cost (a cold run
+	// contributes NumSamples to rerun).
+	SamplesReused uint64 `json:"samples_reused"`
+	SamplesRerun  uint64 `json:"samples_rerun"`
+	// LatencyCount / LatencySumSeconds aggregate the vote latency histogram
+	// (per-bucket counts are exported on /metrics only).
+	LatencyCount      uint64  `json:"latency_count"`
+	LatencySumSeconds float64 `json:"latency_sum_seconds"`
+}
+
+func (e *Engine) detectStats() DetectStats {
+	count, sum := e.detectLatency.totals()
+	return DetectStats{
+		IncrementalRuns:      e.incRuns.Load(),
+		ColdRuns:             e.coldRuns.Load(),
+		IncrementalFallbacks: e.incFallbacks.Load(),
+		SamplesReused:        e.samplesReused.Load(),
+		SamplesRerun:         e.samplesRerun.Load(),
+		LatencyCount:         count,
+		LatencySumSeconds:    sum,
+	}
+}
+
+// latencyBounds are the histogram's upper bounds in seconds, chosen to
+// straddle the interesting range: cache hits land in the sub-millisecond
+// buckets, incremental runs in the milliseconds, cold runs on large graphs in
+// the hundreds of milliseconds and up.
+var latencyBounds = [...]float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// latencyHist is a fixed-bucket cumulative histogram with atomic counters —
+// the observe path is lock-free and allocation-free. Readers may see a
+// bucket/sum snapshot that is slightly torn across concurrent observes;
+// Prometheus scrapes tolerate that.
+type latencyHist struct {
+	buckets [len(latencyBounds) + 1]atomic.Uint64 // last bucket is +Inf
+	count   atomic.Uint64
+	sumNs   atomic.Int64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(latencyBounds) && s > latencyBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+func (h *latencyHist) totals() (count uint64, sumSeconds float64) {
+	return h.count.Load(), time.Duration(h.sumNs.Load()).Seconds()
+}
+
+// snapshot returns cumulative bucket counts aligned with latencyBounds plus a
+// final +Inf bucket, in Prometheus le-label convention.
+func (h *latencyHist) snapshot() (cum [len(latencyBounds) + 1]uint64, count uint64, sumSeconds float64) {
+	var running uint64
+	for i := range h.buckets {
+		running += h.buckets[i].Load()
+		cum[i] = running
+	}
+	count, sumSeconds = h.totals()
+	return cum, count, sumSeconds
+}

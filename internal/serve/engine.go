@@ -118,6 +118,13 @@ type Options struct {
 	// tiny request naming id 2^32-2 would force multi-gigabyte allocations
 	// on the next detection.
 	MaxNodeID uint32
+	// IncrementalMaxDeltaRatio bounds when a run goes incremental instead of
+	// cold: the edge churn between the base version and the requested one
+	// must be at most this fraction of the snapshot's edges (0 → 0.25,
+	// mirroring the stream layer's delta-rebuild threshold; negative
+	// disables incremental detection entirely). Past the threshold most
+	// samples are dirty anyway and classification is pure overhead.
+	IncrementalMaxDeltaRatio float64
 }
 
 func (o Options) maxConcurrent() int {
@@ -132,6 +139,16 @@ func (o Options) maxCacheEntries() int {
 		return 32
 	}
 	return o.MaxCacheEntries
+}
+
+func (o Options) incrementalMaxDeltaRatio() float64 {
+	if o.IncrementalMaxDeltaRatio == 0 {
+		return 0.25
+	}
+	if o.IncrementalMaxDeltaRatio < 0 {
+		return 0
+	}
+	return o.IncrementalMaxDeltaRatio
 }
 
 func (o Options) maxNodeID() uint32 {
@@ -173,6 +190,17 @@ type Windower interface {
 	WindowStats() stream.WindowStats
 }
 
+// Deltaer is the optional churn-tracking extension of Snapshotter: a source
+// that can report which nodes changed between two snapshot versions.
+// *stream.Graph implements it; when present, the engine reuses the newest
+// completed run per config fingerprint as an incremental base and re-runs
+// only the samples the delta dirtied (core.RunIncremental). ok=false from
+// Delta — evicted history, a restore, an epoch resync — simply forces a cold
+// run.
+type Deltaer interface {
+	Delta(from, to uint64) (stream.Delta, bool)
+}
+
 type cacheKey struct {
 	version uint64
 	config  string
@@ -182,6 +210,17 @@ type entry struct {
 	done  chan struct{} // closed when votes/err are set
 	votes *core.Votes
 	err   error
+	// out retains the full recorded output while this entry is the newest
+	// completed one for its fingerprint — the incremental base. It is
+	// released (set nil under the engine lock) when a newer version
+	// completes. Only out.Votes and out.Rec remain valid after the run: the
+	// scratch-backed per-sample arrays are recycled into later runs.
+	out *core.Output
+	// Run provenance, fixed before done closes: whether the run reused a
+	// base, and how many samples were carried over vs re-executed (a cold
+	// run reports 0 / NumSamples).
+	incremental   bool
+	reused, rerun int
 }
 
 // Engine serves detection queries over a dynamic graph from a vote cache.
@@ -208,10 +247,24 @@ type Engine struct {
 	mu    sync.Mutex
 	cache map[cacheKey]*entry
 	order []cacheKey // insertion order, for FIFO eviction
+	// latest maps a config fingerprint to the newest completed version with
+	// a retained reuse record — the incremental base. Pinned against
+	// first-pass eviction; guarded by mu.
+	latest map[string]uint64
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
-	runs   atomic.Uint64 // completed ensemble runs (cold computations)
+	runs   atomic.Uint64 // completed ensemble runs (cold or incremental)
+
+	// delta is the source's churn-tracking seam (nil when the Snapshotter
+	// cannot report deltas); the detect counters below split runs by path.
+	delta         Deltaer
+	incRuns       atomic.Uint64
+	coldRuns      atomic.Uint64
+	incFallbacks  atomic.Uint64
+	samplesReused atomic.Uint64
+	samplesRerun  atomic.Uint64
+	detectLatency latencyHist
 
 	ingestBatches atomic.Uint64
 	ingestEdges   atomic.Uint64 // edges actually added (post-dedup)
@@ -245,8 +298,10 @@ func NewEngine(src Snapshotter, opts Options) *Engine {
 		arenas:     core.NewArenaPool(),
 		outScratch: make(chan *core.RunScratch, opts.maxConcurrent()),
 		cache:      make(map[cacheKey]*entry),
+		latest:     make(map[string]uint64),
 	}
 	e.win, _ = src.(Windower)
+	e.delta, _ = src.(Deltaer)
 	return e
 }
 
@@ -262,6 +317,13 @@ type VoteSet struct {
 	// or had to execute the ensemble (false). Requests that coalesce onto
 	// another in-flight run count as cached.
 	Cached bool
+	// Incremental reports whether the run that produced these votes reused a
+	// previous version's ensemble record; ReusedSamples/RerunSamples split
+	// the ensemble by clean vs dirty classification (a cold run reports
+	// 0/NumSamples). Cache hits report the original run's values.
+	Incremental   bool
+	ReusedSamples int
+	RerunSamples  int
 }
 
 // Votes returns the ensemble vote counts for the current graph version under
@@ -273,6 +335,7 @@ func (e *Engine) Votes(ctx context.Context, p Params) (VoteSet, error) {
 	if err := p.Validate(); err != nil {
 		return VoteSet{}, err
 	}
+	start := time.Now()
 	snap, version := e.src.Snapshot()
 	key := cacheKey{version: version, config: p.Fingerprint()}
 
@@ -283,12 +346,22 @@ func (e *Engine) Votes(ctx context.Context, p Params) (VoteSet, error) {
 		e.hits.Add(1)
 	} else {
 		ent = &entry{done: make(chan struct{})}
+		// Resolve the incremental base under the same lock as the insert:
+		// the insert below can trigger eviction, and at the cache bound the
+		// evicted entry may be exactly the base this run is about to resume
+		// from. Holding the output pointer through the run keeps it usable
+		// even if its cache entry is reclaimed meanwhile.
+		var base *core.Output
+		var baseVer uint64
+		if e.delta != nil && e.opts.incrementalMaxDeltaRatio() > 0 {
+			base, baseVer = e.incrementalBaseLocked(key)
+		}
 		e.cache[key] = ent
 		e.order = append(e.order, key)
 		e.evictLocked()
 		e.mu.Unlock()
 		e.misses.Add(1)
-		go e.run(key, ent, snap, p)
+		go e.run(key, ent, snap, p, base, baseVer)
 	}
 
 	select {
@@ -299,7 +372,15 @@ func (e *Engine) Votes(ctx context.Context, p Params) (VoteSet, error) {
 	if ent.err != nil {
 		return VoteSet{}, ent.err
 	}
-	return VoteSet{Votes: ent.votes, GraphVersion: version, Cached: ok}, nil
+	e.detectLatency.observe(time.Since(start))
+	return VoteSet{
+		Votes:         ent.votes,
+		GraphVersion:  version,
+		Cached:        ok,
+		Incremental:   ent.incremental,
+		ReusedSamples: ent.reused,
+		RerunSamples:  ent.rerun,
+	}, nil
 }
 
 // evictLocked drops the oldest completed cache entries beyond the
@@ -308,6 +389,14 @@ func (e *Engine) Votes(ctx context.Context, p Params) (VoteSet, error) {
 // executing — so the cache may transiently exceed the bound while many
 // distinct cold keys are computing. Waiters holding an evicted *entry
 // still see its result; it just stops being findable.
+//
+// The newest completed entry per config fingerprint is pinned: it is the
+// incremental base for the next graph version, and a strict FIFO sweep would
+// evict exactly the entry every future request wants to resume from (the
+// latest one) whenever a fingerprint's history fills the cache. Pinned
+// entries are only reclaimed in a second pass, when the cache is over bound
+// with nothing unpinned left — many distinct fingerprints — so memory stays
+// bounded by the configured entry count either way.
 func (e *Engine) evictLocked() {
 	excess := len(e.order) - e.opts.maxCacheEntries()
 	if excess <= 0 {
@@ -316,7 +405,7 @@ func (e *Engine) evictLocked() {
 	kept := e.order[:0]
 	for _, k := range e.order {
 		ent := e.cache[k]
-		if excess > 0 && ent != nil && entryDone(ent) {
+		if excess > 0 && ent != nil && entryDone(ent) && !e.pinnedLocked(k) {
 			delete(e.cache, k)
 			excess--
 			continue
@@ -324,6 +413,30 @@ func (e *Engine) evictLocked() {
 		kept = append(kept, k)
 	}
 	e.order = kept
+	if excess <= 0 {
+		return
+	}
+	kept = e.order[:0]
+	for _, k := range e.order {
+		ent := e.cache[k]
+		if excess > 0 && ent != nil && entryDone(ent) {
+			if e.pinnedLocked(k) {
+				delete(e.latest, k.config)
+			}
+			delete(e.cache, k)
+			excess--
+			continue
+		}
+		kept = append(kept, k)
+	}
+	e.order = kept
+}
+
+// pinnedLocked reports whether k is its fingerprint's registered incremental
+// base. Caller holds e.mu.
+func (e *Engine) pinnedLocked(k cacheKey) bool {
+	v, ok := e.latest[k.config]
+	return ok && v == k.version
 }
 
 // FlushCache drops every cached vote set, including keys with runs still in
@@ -337,6 +450,10 @@ func (e *Engine) FlushCache() {
 	defer e.mu.Unlock()
 	clear(e.cache)
 	e.order = e.order[:0]
+	// Incremental bases die with their entries: after a resync the recorded
+	// dependencies describe a different graph history, and the stream layer's
+	// delta history is reset anyway.
+	clear(e.latest)
 }
 
 func entryDone(ent *entry) bool {
@@ -348,7 +465,7 @@ func entryDone(ent *entry) bool {
 	}
 }
 
-func (e *Engine) run(key cacheKey, ent *entry, snap *bipartite.Graph, p Params) {
+func (e *Engine) run(key cacheKey, ent *entry, snap *bipartite.Graph, p Params, base *core.Output, baseVer uint64) {
 	e.sem <- struct{}{}
 	defer func() { <-e.sem }()
 	defer close(ent.done)
@@ -388,15 +505,16 @@ func (e *Engine) run(key cacheKey, ent *entry, snap *bipartite.Graph, p Params) 
 	}
 	// Draw a per-run output scratch (kˆ/φ-curve arrays) if one is free; the
 	// pool is sized to the concurrency bound, so steady-state cold runs
-	// reuse instead of allocating. Only Votes outlives the run — it is the
-	// one freshly-allocated piece — so recycling is invisible to callers.
+	// reuse instead of allocating. Only Votes and the reuse record outlive
+	// the run — they are the freshly-allocated pieces — so recycling is
+	// invisible to callers.
 	var rs *core.RunScratch
 	select {
 	case rs = <-e.outScratch:
 	default:
 		rs = new(core.RunScratch)
 	}
-	out, err := core.Run(snap, core.Config{
+	cfg := core.Config{
 		Method:      method,
 		NumSamples:  n.NumSamples,
 		SampleRatio: n.SampleRatio,
@@ -404,7 +522,50 @@ func (e *Engine) run(key cacheKey, ent *entry, snap *bipartite.Graph, p Params) 
 		Parallelism: p.Parallelism,
 		Arenas:      e.arenas,
 		Scratch:     rs,
-	})
+		// Record every run: the per-sample record is what the next version's
+		// run resumes from. Non-resumable configs skip recording internally.
+		Record: true,
+	}
+
+	// Try to resume from the newest completed run of this fingerprint. Any
+	// failure to prove reuse — no base, evicted delta history, churn past the
+	// threshold, a non-resumable config — falls back to a cold run; votes are
+	// byte-identical either way.
+	var out *core.Output
+	if base != nil {
+		if d, dok := e.delta.Delta(baseVer, key.version); dok && e.deltaWithinRatio(d, snap) {
+			o, st, ierr := core.RunIncremental(snap, cfg, base, core.DeltaInfo{
+				Users:     d.Users,
+				Merchants: d.Merchants,
+			})
+			switch {
+			case ierr == nil:
+				out = o
+				ent.incremental = true
+				ent.reused, ent.rerun = st.Reused, st.Rerun
+				e.incRuns.Add(1)
+				e.samplesReused.Add(uint64(st.Reused))
+				e.samplesRerun.Add(uint64(st.Rerun))
+			case errors.Is(ierr, core.ErrNotResumable):
+				e.incFallbacks.Add(1)
+			default:
+				select {
+				case e.outScratch <- rs:
+				default:
+				}
+				ent.err = ierr
+				return
+			}
+		}
+	}
+	if out == nil {
+		out, err = core.Run(snap, cfg)
+		if err == nil {
+			e.coldRuns.Add(1)
+			ent.rerun = out.Votes.NumSamples
+			e.samplesRerun.Add(uint64(out.Votes.NumSamples))
+		}
+	}
 	select {
 	case e.outScratch <- rs:
 	default:
@@ -415,6 +576,63 @@ func (e *Engine) run(key cacheKey, ent *entry, snap *bipartite.Graph, p Params) 
 	}
 	ent.votes = &out.Votes
 	e.runs.Add(1)
+	e.publishBase(key, ent, out)
+}
+
+// incrementalBaseLocked returns the retained output of the newest completed
+// run with key's fingerprint at an older version, or nil. Caller holds e.mu
+// and has already checked that the source is delta-capable.
+func (e *Engine) incrementalBaseLocked(key cacheKey) (*core.Output, uint64) {
+	baseVer, ok := e.latest[key.config]
+	if !ok || baseVer >= key.version {
+		return nil, 0
+	}
+	ent := e.cache[cacheKey{version: baseVer, config: key.config}]
+	if ent == nil || !entryDone(ent) || ent.err != nil || ent.out == nil || ent.out.Rec == nil {
+		return nil, 0
+	}
+	return ent.out, baseVer
+}
+
+// deltaWithinRatio applies the incremental threshold: the churn between base
+// and target must be a small fraction of the snapshot's edges, mirroring the
+// stream layer's delta-vs-rebuild decision.
+func (e *Engine) deltaWithinRatio(d stream.Delta, snap *bipartite.Graph) bool {
+	ne := snap.NumEdges()
+	if ne == 0 {
+		return false
+	}
+	return float64(d.EdgesChanged()) <= e.opts.incrementalMaxDeltaRatio()*float64(ne)
+}
+
+// publishBase registers a successful run as its fingerprint's incremental
+// base if it is the newest, releasing the demoted predecessor's record (its
+// votes stay servable). A stale run finishing late — older than the current
+// base — keeps nothing.
+func (e *Engine) publishBase(key cacheKey, ent *entry, out *core.Output) {
+	if out.Rec == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// A run whose entry is no longer in the cache (flushed by an epoch
+	// resync, or evicted) must not register: post-resync version numbers
+	// restart, and a stale high version in latest would block every
+	// new-timeline run from publishing.
+	if e.cache[key] != ent {
+		return
+	}
+	cur, ok := e.latest[key.config]
+	if ok && cur >= key.version {
+		return
+	}
+	if ok {
+		if old := e.cache[cacheKey{version: cur, config: key.config}]; old != nil {
+			old.out = nil
+		}
+	}
+	ent.out = out
+	e.latest[key.config] = key.version
 }
 
 // Detection is a thresholded fraud set served from cached votes.
@@ -425,6 +643,11 @@ type Detection struct {
 	NumSamples   int
 	GraphVersion uint64
 	Cached       bool
+	// Incremental, ReusedSamples and RerunSamples describe the run that
+	// produced the underlying votes (see VoteSet).
+	Incremental   bool
+	ReusedSamples int
+	RerunSamples  int
 }
 
 // Detect answers one MVA query at threshold t. t < 0 picks the paper's
@@ -445,12 +668,15 @@ func (e *Engine) Detect(ctx context.Context, p Params, t int) (Detection, error)
 		t = 1
 	}
 	return Detection{
-		Users:        vs.Votes.AcceptUsers(t),
-		Merchants:    vs.Votes.AcceptMerchants(t),
-		Threshold:    t,
-		NumSamples:   vs.Votes.NumSamples,
-		GraphVersion: vs.GraphVersion,
-		Cached:       vs.Cached,
+		Users:         vs.Votes.AcceptUsers(t),
+		Merchants:     vs.Votes.AcceptMerchants(t),
+		Threshold:     t,
+		NumSamples:    vs.Votes.NumSamples,
+		GraphVersion:  vs.GraphVersion,
+		Cached:        vs.Cached,
+		Incremental:   vs.Incremental,
+		ReusedSamples: vs.ReusedSamples,
+		RerunSamples:  vs.RerunSamples,
 	}, nil
 }
 
@@ -526,7 +752,11 @@ type Stats struct {
 	CacheMisses  uint64              `json:"cache_misses"`
 	EnsembleRuns uint64              `json:"ensemble_runs"`
 	InFlight     int                 `json:"in_flight"`
-	IngestStats  IngestStats         `json:"ingest"`
+	// Detect splits completed ensemble runs by path (incremental vs cold)
+	// and counts sample-level reuse; it is how operators verify that small
+	// ingest deltas are not paying cold-run latency.
+	Detect      DetectStats `json:"detect"`
+	IngestStats IngestStats `json:"ingest"`
 	// Persist reports WAL and snapshot counters when a durability store is
 	// attached; nil for a memory-only daemon.
 	Persist *persist.Stats `json:"persist,omitempty"`
@@ -594,6 +824,7 @@ func (e *Engine) Stats() Stats {
 		CacheMisses:  e.misses.Load(),
 		EnsembleRuns: e.runs.Load(),
 		InFlight:     len(e.sem),
+		Detect:       e.detectStats(),
 		IngestStats: IngestStats{
 			Batches:    e.ingestBatches.Load(),
 			Added:      e.ingestEdges.Load(),

@@ -278,13 +278,20 @@ func (req detectRequest) params() Params {
 }
 
 type detectResponse struct {
-	GraphVersion uint64   `json:"graph_version"`
-	Threshold    int      `json:"threshold"`
-	NumSamples   int      `json:"num_samples"`
-	Cached       bool     `json:"cached"`
-	ElapsedMS    float64  `json:"elapsed_ms"`
-	Users        []uint32 `json:"users"`
-	Merchants    []uint32 `json:"merchants"`
+	GraphVersion uint64 `json:"graph_version"`
+	Threshold    int    `json:"threshold"`
+	NumSamples   int    `json:"num_samples"`
+	Cached       bool   `json:"cached"`
+	// Incremental/ReusedSamples/RerunSamples describe the ensemble run behind
+	// this answer: an incremental run re-executed only the RerunSamples
+	// samples its ingest delta dirtied (cache hits report the original run's
+	// split).
+	Incremental   bool     `json:"incremental"`
+	ReusedSamples int      `json:"reused_samples"`
+	RerunSamples  int      `json:"rerun_samples"`
+	ElapsedMS     float64  `json:"elapsed_ms"`
+	Users         []uint32 `json:"users"`
+	Merchants     []uint32 `json:"merchants"`
 }
 
 func handleDetect(e *Engine, w http.ResponseWriter, r *http.Request) {
@@ -304,13 +311,16 @@ func handleDetect(e *Engine, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, detectResponse{
-		GraphVersion: det.GraphVersion,
-		Threshold:    det.Threshold,
-		NumSamples:   det.NumSamples,
-		Cached:       det.Cached,
-		ElapsedMS:    float64(time.Since(start).Microseconds()) / 1000,
-		Users:        emptyNotNull(det.Users),
-		Merchants:    emptyNotNull(det.Merchants),
+		GraphVersion:  det.GraphVersion,
+		Threshold:     det.Threshold,
+		NumSamples:    det.NumSamples,
+		Cached:        det.Cached,
+		Incremental:   det.Incremental,
+		ReusedSamples: det.ReusedSamples,
+		RerunSamples:  det.RerunSamples,
+		ElapsedMS:     float64(time.Since(start).Microseconds()) / 1000,
+		Users:         emptyNotNull(det.Users),
+		Merchants:     emptyNotNull(det.Merchants),
 	})
 }
 

@@ -35,9 +35,29 @@ func handleMetrics(e *Engine, version string, w http.ResponseWriter, _ *http.Req
 
 	counter("ensemfdetd_cache_hits_total", "Detection requests answered from the vote cache.", st.CacheHits)
 	counter("ensemfdetd_cache_misses_total", "Detection requests that had to start an ensemble run.", st.CacheMisses)
-	counter("ensemfdetd_ensemble_runs_total", "Completed ensemble runs (cold computations).", st.EnsembleRuns)
+	counter("ensemfdetd_ensemble_runs_total", "Completed ensemble runs (cold or incremental).", st.EnsembleRuns)
 	gauge("ensemfdetd_cache_entries", "Vote-cache entries currently resident.", int64(st.CacheEntries))
 	gauge("ensemfdetd_inflight_runs", "Ensemble runs executing right now.", int64(st.InFlight))
+
+	counter("ensemfdetd_detect_incremental_runs_total", "Ensemble runs that resumed from a previous version's record.", st.Detect.IncrementalRuns)
+	counter("ensemfdetd_detect_cold_runs_total", "Ensemble runs executed from scratch.", st.Detect.ColdRuns)
+	counter("ensemfdetd_detect_incremental_fallbacks_total", "Runs that found a base and a small delta but could not prove reuse and went cold.", st.Detect.IncrementalFallbacks)
+	counter("ensemfdetd_detect_samples_reused_total", "Ensemble samples carried over from an incremental base without re-execution.", st.Detect.SamplesReused)
+	counter("ensemfdetd_detect_samples_rerun_total", "Ensemble samples executed (dirty samples of incremental runs plus all samples of cold runs).", st.Detect.SamplesRerun)
+
+	{
+		const h = "ensemfdetd_detect_seconds"
+		cum, _, sum := e.detectLatency.snapshot()
+		fmt.Fprintf(w, "# HELP %s End-to-end vote latency per detect request, cache hits included.\n# TYPE %s histogram\n", h, h)
+		for i, bound := range latencyBounds {
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h, formatSeconds(bound), cum[i])
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h, cum[len(latencyBounds)])
+		fmt.Fprintf(w, "%s_sum %s\n", h, formatSeconds(sum))
+		// _count must equal the +Inf bucket; the separately-maintained atomic
+		// count can run ahead of the bucket snapshot under concurrent observes.
+		fmt.Fprintf(w, "%s_count %d\n", h, cum[len(latencyBounds)])
+	}
 
 	gauge("ensemfdetd_graph_version", "Current graph version (bumps once per batch that adds edges).", int64(st.Graph.Version))
 	gauge("ensemfdetd_graph_users", "User nodes in the dynamic graph.", int64(st.Graph.NumUsers))

@@ -1,0 +1,226 @@
+package stream
+
+import (
+	"slices"
+	"testing"
+	"time"
+
+	"ensemfdet/internal/bipartite"
+)
+
+func sortedU32(s []uint32) []uint32 {
+	out := slices.Clone(s)
+	slices.Sort(out)
+	return slices.Compact(out)
+}
+
+func TestDeltaTracksAppendEndpoints(t *testing.T) {
+	g := NewSharded(4)
+	v0 := g.Version()
+	g.Append([]bipartite.Edge{{U: 1, V: 10}, {U: 2, V: 10}})
+	g.Append([]bipartite.Edge{{U: 3, V: 11}})
+	d, ok := g.Delta(v0, g.Version())
+	if !ok {
+		t.Fatal("Delta not answerable over fully-recorded range")
+	}
+	if got, want := sortedU32(d.Users), []uint32{1, 2, 3}; !slices.Equal(got, want) {
+		t.Fatalf("touched users = %v, want %v", got, want)
+	}
+	if got, want := sortedU32(d.Merchants), []uint32{10, 11}; !slices.Equal(got, want) {
+		t.Fatalf("touched merchants = %v, want %v", got, want)
+	}
+	if d.Inserts != 3 || d.Deletes != 0 {
+		t.Fatalf("inserts/deletes = %d/%d, want 3/0", d.Inserts, d.Deletes)
+	}
+}
+
+func TestDeltaSubrangeExcludesOutsideCommits(t *testing.T) {
+	g := NewSharded(1)
+	g.AppendEdge(1, 10)
+	v1 := g.Version()
+	g.AppendEdge(2, 11)
+	v2 := g.Version()
+	g.AppendEdge(3, 12)
+
+	d, ok := g.Delta(v1, v2)
+	if !ok {
+		t.Fatal("Delta not answerable")
+	}
+	if got, want := sortedU32(d.Users), []uint32{2}; !slices.Equal(got, want) {
+		t.Fatalf("touched users = %v, want %v", got, want)
+	}
+	if d.Inserts != 1 {
+		t.Fatalf("inserts = %d, want 1", d.Inserts)
+	}
+	// Empty range: same from and to.
+	d, ok = g.Delta(v2, v2)
+	if !ok || len(d.Users) != 0 || len(d.Merchants) != 0 || d.EdgesChanged() != 0 {
+		t.Fatalf("empty range delta = %+v ok=%v, want empty/true", d, ok)
+	}
+	// Inverted range is unanswerable.
+	if _, ok := g.Delta(v2, v1); ok {
+		t.Fatal("inverted range should be unanswerable")
+	}
+}
+
+func TestDeltaDuplicateBatchDoesNotCommitButDupEndpointsMayOvermark(t *testing.T) {
+	g := NewSharded(2)
+	g.AppendEdge(1, 10)
+	v1 := g.Version()
+	// A fully-duplicate batch does not bump the version and records nothing.
+	g.AppendEdge(1, 10)
+	if g.Version() != v1 {
+		t.Fatalf("duplicate batch bumped version to %d", g.Version())
+	}
+	d, ok := g.Delta(v1, g.Version())
+	if !ok || len(d.Users) != 0 {
+		t.Fatalf("delta after duplicate-only batch = %+v ok=%v, want empty/true", d, ok)
+	}
+	// A mixed batch records the full pre-dedup endpoint set (conservative
+	// over-marking) but exact insert counts.
+	g.Append([]bipartite.Edge{{U: 1, V: 10}, {U: 5, V: 20}})
+	d, ok = g.Delta(v1, g.Version())
+	if !ok {
+		t.Fatal("Delta not answerable")
+	}
+	if got, want := sortedU32(d.Users), []uint32{1, 5}; !slices.Equal(got, want) {
+		t.Fatalf("touched users = %v, want %v", got, want)
+	}
+	if d.Inserts != 1 {
+		t.Fatalf("inserts = %d, want 1 (duplicate excluded)", d.Inserts)
+	}
+}
+
+func TestDeltaTracksRemovalsAndRetires(t *testing.T) {
+	g := NewSharded(4)
+	g.Append([]bipartite.Edge{{U: 1, V: 10}, {U: 2, V: 11}, {U: 3, V: 12}})
+	v1 := g.Version()
+
+	g.Remove([]bipartite.Edge{{U: 2, V: 11}})
+	d, ok := g.Delta(v1, g.Version())
+	if !ok {
+		t.Fatal("Delta not answerable")
+	}
+	if got, want := sortedU32(d.Users), []uint32{2}; !slices.Equal(got, want) {
+		t.Fatalf("touched users after Remove = %v, want %v", got, want)
+	}
+	if d.Inserts != 0 || d.Deletes != 1 {
+		t.Fatalf("inserts/deletes = %d/%d, want 0/1", d.Inserts, d.Deletes)
+	}
+
+	// A window retire pass is a removal commit like any other.
+	v2 := g.Version()
+	g.SetWindow(WindowPolicy{MaxEdges: 1})
+	g.Retire(time.Now())
+	d, ok = g.Delta(v2, g.Version())
+	if !ok {
+		t.Fatal("Delta not answerable after retire")
+	}
+	if d.Deletes != 1 || len(d.Users) != 1 {
+		t.Fatalf("retire delta = %+v, want 1 deleted edge endpoint", d)
+	}
+}
+
+func TestDeltaEvictionRaisesFloor(t *testing.T) {
+	g := NewSharded(1)
+	g.SetDeltaHistoryLimit(4)
+	v0 := g.Version()
+	for i := uint32(0); i < 8; i++ {
+		g.AppendEdge(i, 100+i)
+	}
+	if _, ok := g.Delta(v0, g.Version()); ok {
+		t.Fatal("evicted range should be unanswerable")
+	}
+	// A recent suffix still inside the budget must remain answerable.
+	recent := g.Version() - 1
+	d, ok := g.Delta(recent, g.Version())
+	if !ok || d.Inserts != 1 {
+		t.Fatalf("recent delta = %+v ok=%v, want 1 insert", d, ok)
+	}
+}
+
+func TestDeltaDisabledTracking(t *testing.T) {
+	g := NewSharded(1)
+	g.SetDeltaHistoryLimit(0)
+	v0 := g.Version()
+	g.AppendEdge(1, 10)
+	if _, ok := g.Delta(v0, g.Version()); ok {
+		t.Fatal("Delta should be unanswerable with tracking disabled")
+	}
+}
+
+func TestDeltaResetOnRestoreForceAndReplayHole(t *testing.T) {
+	// Restore: the adopted version starts a fresh, queryable history.
+	base := NewSharded(1)
+	base.Append([]bipartite.Edge{{U: 1, V: 10}, {U: 2, V: 11}})
+	snap, ver := base.Snapshot()
+
+	g := NewSharded(2)
+	if err := g.Restore(snap, ver); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.Delta(0, ver); ok {
+		t.Fatal("pre-restore range should be unanswerable")
+	}
+	g.AppendEdge(7, 70)
+	d, ok := g.Delta(ver, g.Version())
+	if !ok || d.Inserts != 1 || !slices.Equal(sortedU32(d.Users), []uint32{7}) {
+		t.Fatalf("post-restore delta = %+v ok=%v, want users=[7]", d, ok)
+	}
+
+	// AdvanceVersionTo without a jump preserves history; with a jump it
+	// clears it.
+	g.AdvanceVersionTo(g.Version()) // no-op
+	if _, ok := g.Delta(ver, g.Version()); !ok {
+		t.Fatal("no-op AdvanceVersionTo should preserve history")
+	}
+	hole := g.Version() + 5
+	g.AdvanceVersionTo(hole)
+	if _, ok := g.Delta(ver, g.Version()); ok {
+		t.Fatal("replay hole should clear history")
+	}
+	g.AppendEdge(8, 80)
+	if d, ok := g.Delta(hole, g.Version()); !ok || d.Inserts != 1 {
+		t.Fatalf("post-hole delta = %+v ok=%v, want 1 insert", d, ok)
+	}
+
+	// ForceVersionTo (epoch resync) rewinds: old ranges die, the adopted
+	// timeline is queryable from the forced version even though it is lower.
+	low := uint64(3)
+	g.ForceVersionTo(low)
+	if _, ok := g.Delta(hole, hole+1); ok {
+		t.Fatal("abandoned-timeline range should be unanswerable")
+	}
+	g.AppendEdge(9, 90)
+	if d, ok := g.Delta(low, g.Version()); !ok || d.Inserts != 1 {
+		t.Fatalf("post-rewind delta = %+v ok=%v, want 1 insert", d, ok)
+	}
+}
+
+func TestDeltaConcurrentAppends(t *testing.T) {
+	g := NewSharded(4)
+	v0 := g.Version()
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				u := uint32(w*1000 + i)
+				g.AppendEdge(u, u%37)
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	d, ok := g.Delta(v0, g.Version())
+	if !ok {
+		t.Fatal("Delta not answerable")
+	}
+	if d.Inserts != 400 {
+		t.Fatalf("inserts = %d, want 400", d.Inserts)
+	}
+	if got := len(sortedU32(d.Users)); got != 400 {
+		t.Fatalf("distinct touched users = %d, want 400", got)
+	}
+}

@@ -158,6 +158,15 @@ type Graph struct {
 	fullBuilds   atomic.Uint64
 	deltaBuildNs atomic.Int64
 	fullBuildNs  atomic.Int64
+
+	// Touched-node history (delta.go): which users/merchants each committed
+	// version changed, bounded by histLimit summed endpoints. histMu is a
+	// leaf lock acquired below commitMu (either half) and the shard locks.
+	histMu    sync.Mutex
+	hist      []deltaRec
+	histNodes int
+	histFloor uint64 // Delta ranges starting below this are unanswerable
+	histLimit int
 }
 
 // shard is one user-range partition of the edge log. The padding keeps hot
@@ -201,10 +210,11 @@ func NewSharded(shards int) *Graph {
 		p <<= 1
 	}
 	g := &Graph{
-		shards: make([]shard, p),
-		mask:   uint32(p - 1),
-		ext:    bipartite.NewExtendBuilder(),
-		now:    time.Now,
+		shards:    make([]shard, p),
+		mask:      uint32(p - 1),
+		ext:       bipartite.NewExtendBuilder(),
+		now:       time.Now,
+		histLimit: DefaultDeltaHistoryNodes,
 	}
 	g.groupScratch.New = func() any { return new(groupScratch) }
 	return g
@@ -322,6 +332,10 @@ func (g *Graph) RestoreAt(snap *bipartite.Graph, version uint64, mark WindowMark
 	g.snap.Store(&snapshot{g: snap, version: version, mark: mark})
 	g.version.Store(version)
 	g.lastIngest.Store(version)
+	// The restore's internal Append recorded the whole snapshot as one giant
+	// touched set at a version label that no longer exists; the adopted
+	// version starts a fresh history.
+	g.histReset(version)
 	return nil
 }
 
@@ -409,6 +423,7 @@ func (g *Graph) commitBatch(res *AppendResult, edges []bipartite.Edge, stamp fun
 	res.Version = g.version.Add(1)
 	atomicMaxU64(&g.lastIngest, res.Version)
 	stamp(res.Version)
+	g.histRecord(res.Version, edges, res.Added, 0)
 	if g.journal != nil {
 		if err := g.journal.AppendEdges(res.Version, edges); err != nil {
 			res.Err = fmt.Errorf("stream: journal append at version %d: %w", res.Version, err)
@@ -524,7 +539,19 @@ func (g *Graph) Version() uint64 { return g.version.Load() }
 // acknowledged clients saw, instead of silently renumbering everything after
 // the hole.
 func (g *Graph) AdvanceVersionTo(v uint64) {
-	atomicMaxU64(&g.version, v)
+	for {
+		cur := g.version.Load()
+		if v <= cur {
+			return
+		}
+		if g.version.CompareAndSwap(cur, v) {
+			// The jump means versions in (cur, v) exist in the WAL's history
+			// but not in ours; deltas spanning the hole would silently claim
+			// nothing changed across it.
+			g.histReset(v)
+			return
+		}
+	}
 }
 
 // ForceVersionTo sets the version counter to exactly v — lower included,
@@ -540,6 +567,9 @@ func (g *Graph) ForceVersionTo(v uint64) {
 	defer g.commitMu.Unlock()
 	g.version.Store(v)
 	g.lastIngest.Store(v)
+	// An epoch resync adopts another timeline's version labels; nothing in
+	// the local history relates to them.
+	g.histReset(v)
 }
 
 // ForceMarkTo sets the window expiry watermark to exactly mark — lower

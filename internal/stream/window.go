@@ -325,6 +325,7 @@ func (g *Graph) removeMatchingLocked(dead func(logEntry) bool) []bipartite.Edge 
 func (g *Graph) commitRemovalLocked(removed []bipartite.Edge) RetireResult {
 	g.numEdges.Add(-int64(len(removed)))
 	newV := g.version.Add(1)
+	g.histRecord(newV, removed, 0, len(removed))
 	res := RetireResult{Removed: len(removed), Version: newV, Mark: g.mark()}
 	if g.journal != nil {
 		if err := g.journal.RetireEdges(newV, removed, res.Mark); err != nil {
