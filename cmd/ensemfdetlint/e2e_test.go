@@ -1,0 +1,176 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles the lint binary into a temp dir and returns its path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "ensemfdetlint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building ensemfdetlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule lays out a synthetic module whose one package sits on the
+// durability analyzer's internal/persist scope.
+func writeModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	pkgDir := filepath.Join(dir, "internal", "persist")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		filepath.Join(dir, "go.mod"):             "module synthetic\n\ngo 1.24\n",
+		filepath.Join(pkgDir, "persist.go"):      src,
+		filepath.Join(dir, "main.go"):            "package main\n\nimport \"synthetic/internal/persist\"\n\nfunc main() { persist.Drop(\"x\") }\n",
+		filepath.Join(pkgDir, "senterr.go"):      senterrSrc,
+		filepath.Join(pkgDir, "senterr_test.go"): senterrTestSrc,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const dirtySrc = `package persist
+
+import "os"
+
+func Drop(path string) {
+	os.Remove(path)
+}
+`
+
+const cleanSrc = `package persist
+
+import "os"
+
+func Drop(path string) {
+	//ensemfdet:durability-ok e2e fixture: the path is a scratch file
+	os.Remove(path)
+}
+`
+
+const senterrSrc = `package persist
+
+import "io"
+
+var ErrShut = io.ErrClosedPipe
+
+func Shut(err error) bool { return err != nil }
+`
+
+// senterrTestSrc holds a sentinel comparison in a _test.go file: only the
+// go vet path type-checks test files, so its finding proves test coverage.
+const senterrTestSrc = `package persist
+
+import (
+	"io"
+	"testing"
+)
+
+func TestShut(t *testing.T) {
+	var err error
+	if err == io.EOF {
+		t.Fatal("eof")
+	}
+}
+`
+
+const cleanSenterrTestSrc = `package persist
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestShut(t *testing.T) {
+	var err error
+	if errors.Is(err, io.EOF) {
+		t.Fatal("eof")
+	}
+}
+`
+
+func runIn(t *testing.T, dir string, name string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(name, args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return string(out), ee.ExitCode()
+	}
+	t.Fatalf("running %s %v: %v\n%s", name, args, err, out)
+	return "", -1
+}
+
+func TestVettoolEndToEnd(t *testing.T) {
+	bin := buildTool(t)
+
+	dir := writeModule(t, dirtySrc)
+	out, code := runIn(t, dir, "go", "vet", "-vettool="+bin, "./...")
+	if code == 0 {
+		t.Fatalf("go vet on a dirty module exited 0; want nonzero\n%s", out)
+	}
+	if !strings.Contains(out, "blessed helper") {
+		t.Fatalf("go vet output missing the durability finding:\n%s", out)
+	}
+	if !strings.Contains(out, "sentinel error io.EOF") || !strings.Contains(out, "senterr_test.go") {
+		t.Fatalf("go vet output missing the senterr finding from the test file:\n%s", out)
+	}
+
+	if err := os.WriteFile(filepath.Join(dir, "internal", "persist", "persist.go"), []byte(cleanSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "internal", "persist", "senterr_test.go"), []byte(cleanSenterrTestSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code = runIn(t, dir, "go", "vet", "-vettool="+bin, "./...")
+	if code != 0 {
+		t.Fatalf("go vet on the annotated module exited %d; want 0\n%s", code, out)
+	}
+}
+
+func TestStandaloneEndToEnd(t *testing.T) {
+	bin := buildTool(t)
+
+	dir := writeModule(t, dirtySrc)
+	out, code := runIn(t, dir, bin, "./...")
+	if code != 1 {
+		t.Fatalf("standalone run on a dirty module exited %d; want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "blessed helper") {
+		t.Fatalf("standalone output missing the durability finding:\n%s", out)
+	}
+
+	out, code = runIn(t, dir, bin, "-github", "./...")
+	if code != 1 {
+		t.Fatalf("standalone -github run exited %d; want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "::error file=") {
+		t.Fatalf("-github output missing a workflow command:\n%s", out)
+	}
+
+	if err := os.WriteFile(filepath.Join(dir, "internal", "persist", "persist.go"), []byte(cleanSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code = runIn(t, dir, bin, "./...")
+	if code != 0 {
+		t.Fatalf("standalone run on the annotated module exited %d; want 0\n%s", code, out)
+	}
+}

@@ -1,0 +1,16 @@
+package analyze_test
+
+import (
+	"testing"
+
+	"ensemfdet/internal/analyze"
+	"ensemfdet/internal/analyze/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", "internal/core", analyze.Determinism)
+}
+
+func TestDeterminismOffPath(t *testing.T) {
+	analysistest.Run(t, "testdata", "offpath", analyze.Determinism)
+}

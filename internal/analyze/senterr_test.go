@@ -1,0 +1,12 @@
+package analyze_test
+
+import (
+	"testing"
+
+	"ensemfdet/internal/analyze"
+	"ensemfdet/internal/analyze/analysistest"
+)
+
+func TestSentErr(t *testing.T) {
+	analysistest.Run(t, "testdata", "senterr", analyze.SentErr)
+}

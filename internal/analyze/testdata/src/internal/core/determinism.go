@@ -1,0 +1,146 @@
+// Fixture for the determinism analyzer: this package path matches the
+// vote-path scope, so every nondeterministic construct below must be
+// flagged unless it is provably order-insensitive or annotated.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func mapOrderLeaks(m map[int]int) []int {
+	var out []int
+	for k := range m { // want `range over map on the vote path`
+		out = append(out, k)
+	}
+	return out
+}
+
+func mapOrderCallInBody(m map[int]int, f func(int)) {
+	for k := range m { // want `range over map on the vote path`
+		f(k)
+	}
+}
+
+func sortedSink(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m { // silent: every appended slice is sorted below
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sortedSinkSlices(m map[uint64]int) []uint64 {
+	vers := make([]uint64, 0, len(m))
+	for v := range m { // silent: sorted before the slice escapes
+		vers = append(vers, v)
+	}
+	sort.Slice(vers, func(i, j int) bool { return vers[i] < vers[j] })
+	return vers
+}
+
+func pureCounting(m map[int]int) (n, sum int) {
+	for _, v := range m { // silent: commutative integer accumulation
+		n++
+		sum += v
+	}
+	return n, sum
+}
+
+func guardedCounting(m map[int]int) int {
+	n := 0
+	for _, v := range m { // silent: guards and continue do not observe order
+		if v == 0 {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+func floatAccumulation(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `range over map on the vote path`
+		sum += v // float addition rounds, so order leaks into the result
+	}
+	return sum
+}
+
+func unsortedAppend(m map[int]int) []int {
+	var out []int
+	for k := range m { // want `range over map on the vote path`
+		out = append(out, k)
+	}
+	return out // never sorted: iteration order escapes
+}
+
+//ensemfdet:nondeterministic-ok the caller deduplicates and re-sorts downstream
+func annotatedAtFunc(m map[int]int) []int {
+	var out []int
+	for k := range m { // silent: enclosing function carries the annotation
+		out = append(out, k)
+	}
+	return out
+}
+
+func annotatedAtLine(m map[int]int) []int {
+	var out []int
+	//ensemfdet:nondeterministic-ok feeds a log line, not the vote bytes
+	for k := range m { // silent: line-above annotation
+		out = append(out, k)
+	}
+	return out
+}
+
+func bareAnnotationDoesNotExempt(m map[int]int) []int {
+	var out []int
+	//ensemfdet:nondeterministic-ok
+	for k := range m { // want `range over map on the vote path`
+		out = append(out, k)
+	}
+	return out
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time.Now on the vote path`
+}
+
+func wallElapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since on the vote path`
+}
+
+type clocked struct {
+	now func() time.Time
+}
+
+func clockValue() clocked {
+	return clocked{
+		//ensemfdet:nondeterministic-ok wall stamps feed window aging, never vote bytes
+		now: time.Now, // silent: annotated value reference
+	}
+}
+
+func clockValueUnannotated() clocked {
+	return clocked{
+		now: time.Now, // want `time.Now on the vote path`
+	}
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand.Intn`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand.Shuffle`
+}
+
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // silent: explicit seeded source
+	return rng.Intn(10)                   // silent: *rand.Rand method
+}
+
+func timeConstantsOK() time.Duration {
+	return 3 * time.Second // silent: constants are not clock reads
+}

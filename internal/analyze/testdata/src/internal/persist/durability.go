@@ -1,0 +1,100 @@
+// Fixture for the durability analyzer: this package path matches the
+// internal/persist scope.
+package persist
+
+import "os"
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func goodPublish(dir, path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp) // silent: tmp-sibling cleanup idiom
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil { // silent: sync before, dir fsync after
+		return err
+	}
+	return syncDir(dir)
+}
+
+func renameWithoutSync(tmp, path string) error {
+	return os.Rename(tmp, path) // want `not preceded by a File.Sync` `not followed by a directory fsync`
+}
+
+func renameNoDirSync(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp) // silent: tmp-sibling cleanup idiom
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path) // want `not followed by a directory fsync`
+}
+
+//ensemfdet:durability-ok the caller dir-fsyncs once after the whole batch of renames
+func renameAnnotated(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp) // silent: tmp-sibling cleanup idiom
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path) // silent: function-level justification
+}
+
+func unblessedRemove(path string) {
+	os.Remove(path) // want `os.Remove outside a blessed helper`
+}
+
+func unblessedTruncate(path string) error {
+	return os.Truncate(path, 0) // want `os.Truncate outside a blessed helper`
+}
+
+func blessedRemove(path string) {
+	//ensemfdet:durability-ok superseded snapshots are redundant once the new one is durable
+	os.Remove(path) // silent: line-level justification
+}
+
+//ensemfdet:durability-ok rewinds drop the whole abandoned timeline by design
+func blessedHelper(paths []string) {
+	for _, p := range paths {
+		os.Remove(p) // silent: blessed helper
+	}
+}

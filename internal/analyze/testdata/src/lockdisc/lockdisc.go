@@ -1,0 +1,115 @@
+// Fixture for the lockdiscipline analyzer.
+package lockdisc
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func (c *counter) bumpLocked() { c.n++ }
+
+func (c *counter) readLocked() int { return c.n }
+
+func deferHeld(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bumpLocked() // silent: dominating Lock with deferred Unlock
+}
+
+func explicitHeld(c *counter) {
+	c.mu.Lock()
+	c.bumpLocked() // silent: Lock before, Unlock after
+	c.mu.Unlock()
+}
+
+func readHeld(c *counter) int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.readLocked() // silent: RLock counts
+}
+
+func (c *counter) chainLocked() { c.bumpLocked() } // silent: caller is itself *Locked
+
+func bare(c *counter) {
+	c.bumpLocked() // want `bumpLocked called without its mutex held`
+}
+
+func released(c *counter) {
+	c.mu.Lock()
+	c.mu.Unlock()
+	c.bumpLocked() // want `bumpLocked called without its mutex held`
+}
+
+func branchReleaseDoesNotDominate(c *counter, done bool) {
+	c.mu.Lock()
+	if done {
+		c.mu.Unlock()
+		return
+	}
+	c.bumpLocked() // silent: the branch Unlock does not dominate this path
+	c.mu.Unlock()
+}
+
+func branchLockDoesNotDominate(c *counter, lock bool) {
+	if lock {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	c.bumpLocked() // want `bumpLocked called without its mutex held`
+}
+
+type pair struct {
+	mu sync.Mutex
+	a  counter
+	b  counter
+}
+
+func wrongReceiver(p *pair) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.a.bumpLocked() // silent: p.a derives from p, whose lock is held
+}
+
+func otherVariable(a, b *counter) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.bumpLocked() // want `bumpLocked called without its mutex held`
+}
+
+//ensemfdet:locked-ok the lock is taken by the caller before invoking this callback
+func annotatedCallback(c *counter) {
+	c.bumpLocked() // silent: justified annotation on the enclosing function
+}
+
+type sharded struct {
+	shards []struct {
+		mu sync.Mutex
+		n  int
+	}
+}
+
+func (s *sharded) Total() int { return 0 }
+
+func (s *sharded) scanBad(i int) int {
+	sh := &s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return s.Total() + sh.n // want `exported method Total called while shard lock`
+}
+
+func (s *sharded) scanGood(i int) int {
+	sh := &s.shards[i]
+	sh.mu.Lock()
+	n := sh.n
+	sh.mu.Unlock()
+	return s.Total() + n // silent: shard lock released before the exported call
+}
+
+func (s *sharded) scanDirect(i int) int {
+	s.shards[i].mu.Lock()
+	defer s.shards[i].mu.Unlock()
+	return s.Total() // want `exported method Total called while shard lock`
+}

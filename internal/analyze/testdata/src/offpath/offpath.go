@@ -1,0 +1,24 @@
+// Fixture proving the determinism analyzer's scope: this package is not on
+// the vote path, so none of these constructs may be flagged.
+package offpath
+
+import (
+	"math/rand"
+	"time"
+)
+
+func MapOrder(m map[int]int) []int {
+	var out []int
+	for k := range m { // silent: off the vote path
+		out = append(out, k)
+	}
+	return out
+}
+
+func WallClock() int64 {
+	return time.Now().UnixNano() // silent: off the vote path
+}
+
+func GlobalRand() int {
+	return rand.Intn(10) // silent: off the vote path
+}

@@ -1,0 +1,60 @@
+// Fixture for the senterr analyzer.
+package senterr
+
+import (
+	"context"
+	"errors"
+	"io"
+)
+
+var ErrGone = errors.New("gone")
+
+var errLocalSentinel = errors.New("local") // package-level, lowercase: not Err-prefixed, not a sentinel
+
+func eq(err error) bool {
+	return err == ErrGone // want `sentinel error senterr.ErrGone compared with ==`
+}
+
+func neq(err error) bool {
+	return err != io.EOF // want `sentinel error io.EOF compared with !=`
+}
+
+func reversed(err error) bool {
+	return context.Canceled == err // want `sentinel error context.Canceled compared with ==`
+}
+
+func deadline(err error) bool {
+	return err == context.DeadlineExceeded // want `sentinel error context.DeadlineExceeded compared with ==`
+}
+
+func good(err error) bool {
+	return errors.Is(err, ErrGone) // silent: errors.Is is the contract
+}
+
+func nilCompare(err error) bool {
+	return err == nil // silent: nil checks are fine
+}
+
+func nonSentinelVar(err error) bool {
+	return err == errLocalSentinel // silent: not an Err-prefixed sentinel or stdlib special
+}
+
+func localScoped(err error) bool {
+	ErrHere := errors.New("here")
+	return err == ErrHere // silent: function-local value, identity is exact
+}
+
+func switchIdentity(err error) bool {
+	switch err {
+	case io.EOF: // want `sentinel error io.EOF in a switch case`
+		return true
+	case nil:
+		return false
+	}
+	return false
+}
+
+//ensemfdet:senterr-ok this API documents returning the sentinel unwrapped
+func annotated(err error) bool {
+	return err == ErrGone // silent: justified annotation
+}

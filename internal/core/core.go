@@ -364,6 +364,7 @@ func (env *runEnv) execute(indices []int) error {
 				panicMu.Unlock()
 			}
 		}()
+		//ensemfdet:nondeterministic-ok per-sample wall timing feeds SampleWork metrics, never vote bytes
 		start := time.Now()
 		// Each sample gets its own rng derived from (Seed, i) so
 		// results do not depend on goroutine scheduling.
@@ -425,6 +426,7 @@ func (env *runEnv) execute(indices []int) error {
 			// needs its own copy (CollectScores is the off-hot-path mode).
 			out.BlockScores[i] = append([]float64(nil), res.Scores...)
 		}
+		//ensemfdet:nondeterministic-ok SampleWork is an observability duration, not part of the vote
 		out.SampleWork[i] = time.Since(start)
 	}
 

@@ -120,6 +120,7 @@ func writeSnapshotFile(dir string, g *bipartite.Graph, version uint64, mark stre
 	// The new snapshot is durable; older ones are now redundant.
 	for _, old := range listSnapshots(dir) {
 		if old.version != version {
+			//ensemfdet:durability-ok superseded snapshots: the newer one is already fsynced and published
 			os.Remove(old.path)
 		}
 	}

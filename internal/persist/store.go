@@ -574,6 +574,7 @@ func (s *Store) Rewind() error {
 	defer s.snapMu.Unlock()
 	snapDir := filepath.Join(s.dir, "snap")
 	for _, sf := range listSnapshots(snapDir) {
+		//ensemfdet:durability-ok rewind discards the abandoned timeline's snapshots by design
 		if err := os.Remove(sf.path); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("persist: removing snapshot: %w", err)
 		}

@@ -157,7 +157,8 @@ func openWAL(dir string, segBytes int64, fsync bool, logf func(string, ...any), 
 	}
 	if tmps, err := filepath.Glob(filepath.Join(dir, "seg-*.wal.tmp")); err == nil {
 		for _, tmp := range tmps {
-			os.Remove(tmp) // a compaction the crash interrupted; the original is intact
+			//ensemfdet:durability-ok compaction temporaries a crash left behind; the original segment is intact
+			os.Remove(tmp)
 		}
 	}
 	names, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
@@ -249,6 +250,7 @@ func scanSegment(path string, last bool, logf func(string, ...any)) ([]walRecord
 	}
 	logf("persist: truncating torn WAL tail: %s at offset %d (%d bytes dropped; the interrupted batch was never acknowledged)",
 		filepath.Base(path), off, len(data)-off)
+	//ensemfdet:durability-ok cuts only the torn tail past the last acknowledged record
 	if err := os.Truncate(path, int64(off)); err != nil {
 		return nil, segMeta{}, false, fmt.Errorf("persist: truncating torn WAL tail: %w", err)
 	}
@@ -443,6 +445,8 @@ func (w *wal) append(rec walRecord) (int64, error) {
 // retired: its sync failure is then tolerated, because every record that
 // matters in it is (or will be, before the taint-clearing snapshot) covered
 // elsewhere, and the segment is deleted at the next truncation.
+//
+//ensemfdet:durability-ok taint truncation cuts only unacknowledged bytes, and the removals undo a next-segment create that never took effect
 func (w *wal) rotateLocked() error {
 	next := segMeta{index: w.active.index + 1}
 	next.path = segPath(w.dir, next.index)
@@ -510,6 +514,7 @@ func (w *wal) truncateTo(version uint64) error {
 	var firstErr error
 	for _, seg := range w.sealed {
 		if seg.maxVer <= version {
+			//ensemfdet:durability-ok every record in this segment is covered by the fsynced snapshot at or above version
 			if err := os.Remove(seg.path); err != nil && !os.IsNotExist(err) {
 				if firstErr == nil {
 					firstErr = fmt.Errorf("persist: removing covered WAL segment: %w", err)
@@ -579,6 +584,7 @@ func (w *wal) compactSegmentLocked(seg *segMeta, version uint64) error {
 	if err != nil {
 		return err
 	}
+	//ensemfdet:durability-ok the caller (truncateTo) dir-fsyncs once after the whole compaction batch
 	if err := os.Rename(tmp, seg.path); err != nil {
 		return err
 	}
@@ -615,6 +621,7 @@ func (w *wal) reset() error {
 	w.floor = 0
 	var firstErr error
 	for _, seg := range old {
+		//ensemfdet:durability-ok epoch rewind: the abandoned timeline must not survive to replay
 		if err := os.Remove(seg.path); err != nil && !os.IsNotExist(err) && firstErr == nil {
 			firstErr = fmt.Errorf("persist: removing WAL segment: %w", err)
 		}

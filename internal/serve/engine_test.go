@@ -215,7 +215,7 @@ func TestContextCancellation(t *testing.T) {
 	e := NewEngine(seedStream(t), Options{})
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := e.Votes(ctx, testParams()); err != context.Canceled {
+	if _, err := e.Votes(ctx, testParams()); !errors.Is(err, context.Canceled) {
 		t.Errorf("err = %v, want context.Canceled", err)
 	}
 	// The abandoned run still completes and warms the cache.

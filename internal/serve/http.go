@@ -196,7 +196,7 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	// a first value that fits followed by bytes that push past the cap — and
 	// that must keep reporting as an over-limit body (413), not as trailing
 	// data (400).
-	if err := dec.Decode(&struct{}{}); err != io.EOF {
+	if err := dec.Decode(&struct{}{}); !errors.Is(err, io.EOF) {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			return fmt.Errorf("bad request body: %w", err)

@@ -210,9 +210,10 @@ func NewSharded(shards int) *Graph {
 		p <<= 1
 	}
 	g := &Graph{
-		shards:    make([]shard, p),
-		mask:      uint32(p - 1),
-		ext:       bipartite.NewExtendBuilder(),
+		shards: make([]shard, p),
+		mask:   uint32(p - 1),
+		ext:    bipartite.NewExtendBuilder(),
+		//ensemfdet:nondeterministic-ok the clock drives window aging only; votes key on logical versions
 		now:       time.Now,
 		histLimit: DefaultDeltaHistoryNodes,
 	}
@@ -707,6 +708,7 @@ func (g *Graph) snapshotInternal() *snapshot {
 	g.commitMu.Unlock()
 
 	churn := insTotal + len(dels)
+	//ensemfdet:nondeterministic-ok build timing feeds the *BuildNs metrics, never the built graph
 	start := time.Now()
 	var built *bipartite.Graph
 	if prev != nil && churn*deltaRebuildDenominator <= prev.g.NumEdges() {
@@ -719,6 +721,7 @@ func (g *Graph) snapshotInternal() *snapshot {
 		g.edgeBuf = ins
 		built = g.ext.ExtendDelta(prev.g, ins, dels, nu, nm)
 		g.deltaBuilds.Add(1)
+		//ensemfdet:nondeterministic-ok metrics-only duration
 		g.deltaBuildNs.Add(int64(time.Since(start)))
 	} else {
 		all := scratch.Grow(&g.edgeBuf, total)[:0]
@@ -730,6 +733,7 @@ func (g *Graph) snapshotInternal() *snapshot {
 		g.edgeBuf = all
 		built = g.ext.Rebuild(nu, nm, all)
 		g.fullBuilds.Add(1)
+		//ensemfdet:nondeterministic-ok metrics-only duration
 		g.fullBuildNs.Add(int64(time.Since(start)))
 		// A full rebuild grew the concat scratch to O(|E|); steady-state
 		// traffic then takes only the delta path, which needs a fraction of

@@ -110,6 +110,7 @@ func (g *Graph) Retire(now time.Time) RetireResult {
 	if p == nil {
 		return RetireResult{Version: g.version.Load(), Mark: g.mark()}
 	}
+	//ensemfdet:nondeterministic-ok retire-pass wall timing feeds retireNs metrics; the cut itself uses the caller-supplied now
 	start := time.Now()
 	g.commitMu.Lock()
 	defer g.commitMu.Unlock()
@@ -153,6 +154,7 @@ func (g *Graph) Retire(now time.Time) RetireResult {
 	res := g.commitRemovalLocked(removed)
 	g.retiredTotal.Add(uint64(len(removed)))
 	g.retirePasses.Add(1)
+	//ensemfdet:nondeterministic-ok metrics-only duration
 	g.retireNs.Add(int64(time.Since(start)))
 	return res
 }
