@@ -5,6 +5,7 @@
 // Usage:
 //
 //	ensemfdetd [-addr :8080] [-load transactions.tsv] [-shards 0] [-max-concurrent 2] [-cache-size 32]
+//	           [-ingest-queue 256] [-pprof-addr ""]
 //	           [-data-dir /var/lib/ensemfdetd] [-fsync always] [-snapshot-every 16777216]
 //	           [-window-age 720h] [-window-versions 0] [-window-max-edges 0] [-retire-every 1s]
 //	           [-serve-replication] [-follow http://primary:8080] [-max-ready-lag 8] [-version]
@@ -87,6 +88,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime/debug"
@@ -127,6 +129,8 @@ func run() error {
 		cacheCap = flag.Int("cache-size", 32, "maximum cached vote sets")
 		incDelta = flag.Float64("incremental-max-delta", 0.25, "run detection incrementally when the ingest delta is at most this fraction of the graph's edges (negative = always cold)")
 		maxNode  = flag.Uint("max-node-id", 0, "largest accepted node id (0 = default 2^26)")
+		ingestQ  = flag.Int("ingest-queue", 256, "ingest admission queue: in-flight batches past this are shed with 429 (0 = unbounded)")
+		pprofAdr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		dataDir  = flag.String("data-dir", "", "durability directory (WAL + snapshots); empty = memory-only")
 		fsync    = flag.String("fsync", "always", "WAL flush policy: always (ack after fsync) or never (OS page cache)")
@@ -233,11 +237,15 @@ func run() error {
 		store.SetSource(sg)
 	}
 
+	if *ingestQ < 0 {
+		return fmt.Errorf("-ingest-queue must be non-negative, got %d", *ingestQ)
+	}
 	engine := ensemfdet.NewDetectEngine(sg, ensemfdet.EngineOptions{
 		MaxConcurrent:            *maxConc,
 		MaxCacheEntries:          *cacheCap,
 		MaxNodeID:                uint32(*maxNode),
 		IncrementalMaxDeltaRatio: *incDelta,
+		IngestQueue:              *ingestQ,
 	})
 	if store != nil {
 		engine.AttachPersist(store)
@@ -410,6 +418,31 @@ func run() error {
 		}()
 	}
 
+	var pprofSrv *http.Server
+	if *pprofAdr != "" {
+		// The profiler gets its own listener and mux so it is never reachable
+		// through the public API address (which may be exposed) and so a stuck
+		// profile stream cannot tie up an API connection slot. Registering the
+		// handlers on a private mux — rather than importing for the
+		// DefaultServeMux side effect — keeps the public mux clean even if
+		// some future dependency serves DefaultServeMux.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv = &http.Server{Addr: *pprofAdr, Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAdr)
+			if err := pprofSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				// Diagnostics must never take the daemon down; the API keeps
+				// serving without the profiler.
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("ensemfdetd listening on %s", *addr)
@@ -430,6 +463,9 @@ func run() error {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
+	}
+	if pprofSrv != nil {
+		_ = pprofSrv.Shutdown(shutdownCtx) // best effort; a hung profile stream must not block the drain
 	}
 	// The server has drained; join the retire ticker and the replication
 	// tailer (their context is already canceled, but an in-flight pass or

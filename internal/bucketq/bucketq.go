@@ -1,0 +1,177 @@
+// Package bucketq provides a monotone bucket queue over dense int32 node
+// ids with small non-negative integer priorities: an array of intrusive
+// doubly-linked lists, one per priority value, plus a floor pointer that
+// tracks the lowest possibly-non-empty bucket.
+//
+// It is the integer-priority victim queue of the FDET peeler (Ban & Duan
+// style): when every merchant weight is exactly 1, node priorities are alive
+// degrees, every decrease-key is by exactly 1, and the pop sequence never
+// needs a comparison sort — the floor pointer moves down by at most one per
+// decrease and back up past drained buckets, for O(V + E + maxPrio) floor
+// movement over a whole peel round.
+//
+// Tie-breaking is pinned: PopMin returns the lowest id in the lowest
+// non-empty bucket, the same total order on (priority, id) the float-path
+// index heap uses, which is what keeps bucket-peeled votes byte-identical to
+// heap-peeled votes. To make the lowest-id pop O(1), every bucket list is
+// kept in ascending id order. Pushing ids in descending order (as the peeler
+// does when seeding a round) costs O(1) per push; an out-of-order insert
+// pays a forward scan of the target bucket, which on peeling workloads is
+// short because a decremented node re-enters a bucket that mostly holds ids
+// near the ones that entered with it. The worst case is O(bucket occupancy)
+// per insert and is documented rather than hidden.
+package bucketq
+
+const absent = int32(-1)
+
+// Queue is a bucket queue over ids in [0, n) with priorities in [0, maxPrio].
+// Construct with New, or Reset a zero value. The zero value is empty.
+type Queue struct {
+	head  []int32 // head[p] = lowest id in bucket p, or -1
+	next  []int32 // next[id] = successor in its bucket (ascending), or -1
+	prev  []int32 // prev[id] = predecessor, or -1 when id is the bucket head
+	prio  []int32 // prio[id], or -1 when id is not in the queue
+	floor int32   // lowest bucket that may be non-empty
+	count int
+}
+
+// New returns a queue for ids in [0, n) and priorities in [0, maxPrio].
+func New(n, maxPrio int) *Queue {
+	q := &Queue{}
+	q.Reset(n, maxPrio)
+	return q
+}
+
+// Reset empties the queue and prepares it for ids in [0, n) and priorities
+// in [0, maxPrio], growing storage only beyond high-water marks so a queue
+// embedded in peeler scratch recycles across rounds without allocating.
+func (q *Queue) Reset(n, maxPrio int) {
+	q.head = growFilled(q.head, maxPrio+1)
+	q.next = growFilled(q.next, n)
+	q.prev = growFilled(q.prev, n)
+	q.prio = growFilled(q.prio, n)
+	q.floor = 0
+	q.count = 0
+}
+
+// growFilled returns s resized to n with every element set to absent.
+func growFilled(s []int32, n int) []int32 {
+	if cap(s) < n {
+		s = make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = absent
+	}
+	return s
+}
+
+// Len returns the number of ids currently queued.
+func (q *Queue) Len() int { return q.count }
+
+// Contains reports whether id is in the queue.
+func (q *Queue) Contains(id int32) bool { return q.prio[id] != absent }
+
+// Priority returns the current priority of id. It must be in the queue.
+func (q *Queue) Priority(id int32) int32 { return q.prio[id] }
+
+// Push inserts id with the given priority. It panics if id is already
+// present.
+func (q *Queue) Push(id, priority int32) {
+	if q.prio[id] != absent {
+		panic("bucketq: Push of id already in queue")
+	}
+	q.prio[id] = priority
+	q.insert(id, priority)
+	q.count++
+	if priority < q.floor {
+		q.floor = priority
+	}
+}
+
+// insert links id into bucket p keeping the list ascending by id.
+func (q *Queue) insert(id, p int32) {
+	h := q.head[p]
+	if h == absent || id < h {
+		q.prev[id] = absent
+		q.next[id] = h
+		if h != absent {
+			q.prev[h] = id
+		}
+		q.head[p] = id
+		return
+	}
+	// Forward scan for the last member below id.
+	at := h
+	for n := q.next[at]; n != absent && n < id; n = q.next[at] {
+		at = n
+	}
+	n := q.next[at]
+	q.next[at] = id
+	q.prev[id] = at
+	q.next[id] = n
+	if n != absent {
+		q.prev[n] = id
+	}
+}
+
+// unlink removes id from bucket p in O(1).
+func (q *Queue) unlink(id, p int32) {
+	pr, nx := q.prev[id], q.next[id]
+	if pr == absent {
+		q.head[p] = nx
+	} else {
+		q.next[pr] = nx
+	}
+	if nx != absent {
+		q.prev[nx] = pr
+	}
+}
+
+// Dec lowers the priority of id by exactly 1. It panics if id is absent or
+// already at priority 0.
+func (q *Queue) Dec(id int32) {
+	p := q.prio[id]
+	if p == absent {
+		panic("bucketq: Dec of id not in queue")
+	}
+	if p == 0 {
+		panic("bucketq: Dec below zero priority")
+	}
+	q.unlink(id, p)
+	p--
+	q.prio[id] = p
+	q.insert(id, p)
+	if p < q.floor {
+		q.floor = p
+	}
+}
+
+// DecIfPresent lowers the priority of id by 1 when id is queued, fusing the
+// peeler's Contains+Dec pair into one lookup. It reports whether id was
+// present.
+func (q *Queue) DecIfPresent(id int32) bool {
+	if q.prio[id] == absent {
+		return false
+	}
+	q.Dec(id)
+	return true
+}
+
+// PopMin removes and returns the lowest id within the lowest non-empty
+// bucket, together with its priority. It panics on an empty queue.
+func (q *Queue) PopMin() (id, priority int32) {
+	if q.count == 0 {
+		panic("bucketq: PopMin from empty queue")
+	}
+	f := q.floor
+	for q.head[f] == absent {
+		f++
+	}
+	q.floor = f
+	id = q.head[f]
+	q.unlink(id, f)
+	q.prio[id] = absent
+	q.count--
+	return id, f
+}

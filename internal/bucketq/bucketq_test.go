@@ -1,0 +1,191 @@
+package bucketq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPopOrderIsPriorityThenID(t *testing.T) {
+	q := New(8, 10)
+	q.Push(3, 5)
+	q.Push(0, 7)
+	q.Push(6, 5)
+	q.Push(1, 2)
+	q.Push(5, 7)
+	want := []struct{ id, p int32 }{{1, 2}, {3, 5}, {6, 5}, {0, 7}, {5, 7}}
+	for i, w := range want {
+		id, p := q.PopMin()
+		if id != w.id || p != w.p {
+			t.Fatalf("pop %d: got (%d,%d), want (%d,%d)", i, id, p, w.id, w.p)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len after draining = %d, want 0", q.Len())
+	}
+}
+
+// Equal priorities must pop in ascending id order no matter the push order:
+// this is the tie-break the float-path heap pins, and the equivalence
+// contract between the two peelers depends on it.
+func TestEqualPriorityTieBreakLowestID(t *testing.T) {
+	for _, pushOrder := range [][]int32{
+		{0, 1, 2, 3, 4},
+		{4, 3, 2, 1, 0},
+		{2, 0, 4, 1, 3},
+	} {
+		q := New(5, 3)
+		for _, id := range pushOrder {
+			q.Push(id, 3)
+		}
+		for want := int32(0); want < 5; want++ {
+			id, p := q.PopMin()
+			if id != want || p != 3 {
+				t.Fatalf("push order %v: got (%d,%d), want (%d,3)", pushOrder, id, p, want)
+			}
+		}
+	}
+}
+
+func TestDecMovesFloorBackDown(t *testing.T) {
+	q := New(4, 10)
+	q.Push(0, 1)
+	q.Push(1, 3)
+	q.Push(2, 3)
+	if id, p := q.PopMin(); id != 0 || p != 1 {
+		t.Fatalf("first pop = (%d,%d), want (0,1)", id, p)
+	}
+	// Floor has advanced to 3; a Dec must bring it back.
+	q.Dec(2)
+	if id, p := q.PopMin(); id != 2 || p != 2 {
+		t.Fatalf("pop after Dec = (%d,%d), want (2,2)", id, p)
+	}
+	if id, p := q.PopMin(); id != 1 || p != 3 {
+		t.Fatalf("last pop = (%d,%d), want (1,3)", id, p)
+	}
+}
+
+func TestDecIfPresent(t *testing.T) {
+	q := New(3, 5)
+	q.Push(1, 4)
+	if !q.DecIfPresent(1) {
+		t.Fatal("DecIfPresent(queued id) = false")
+	}
+	if got := q.Priority(1); got != 3 {
+		t.Fatalf("Priority after Dec = %d, want 3", got)
+	}
+	if q.DecIfPresent(2) {
+		t.Fatal("DecIfPresent(absent id) = true")
+	}
+	if q.Contains(2) {
+		t.Fatal("Contains(absent id) = true")
+	}
+}
+
+func TestResetRecycles(t *testing.T) {
+	q := New(6, 4)
+	for id := int32(0); id < 6; id++ {
+		q.Push(id, id%3)
+	}
+	q.PopMin()
+	q.Reset(4, 2)
+	if q.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", q.Len())
+	}
+	for id := int32(0); id < 4; id++ {
+		if q.Contains(id) {
+			t.Fatalf("Contains(%d) = true after Reset", id)
+		}
+	}
+	q.Push(3, 0)
+	q.Push(2, 2)
+	if id, p := q.PopMin(); id != 3 || p != 0 {
+		t.Fatalf("pop after Reset = (%d,%d), want (3,0)", id, p)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	q := New(2, 3)
+	mustPanic("PopMin empty", func() { q.PopMin() })
+	q.Push(0, 0)
+	mustPanic("double Push", func() { q.Push(0, 1) })
+	mustPanic("Dec below zero", func() { q.Dec(0) })
+	mustPanic("Dec absent", func() { q.Dec(1) })
+}
+
+// naive is the reference: a linear scan over (priority, id) pairs that pops
+// the lexicographic minimum.
+type naive struct {
+	prio map[int32]int32
+}
+
+func (n *naive) popMin() (int32, int32) {
+	bestID, bestP := int32(-1), int32(1<<30)
+	for id, p := range n.prio {
+		if p < bestP || (p == bestP && id < bestID) {
+			bestID, bestP = id, p
+		}
+	}
+	delete(n.prio, bestID)
+	return bestID, bestP
+}
+
+// TestRandomizedAgainstNaive drives interleaved Push/Dec/PopMin traffic and
+// checks every pop against the reference order.
+func TestRandomizedAgainstNaive(t *testing.T) {
+	const n, maxPrio = 200, 12
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		q := New(n, maxPrio)
+		ref := &naive{prio: make(map[int32]int32)}
+		queued := make([]int32, 0, n)
+		free := make([]int32, n)
+		for i := range free {
+			free[i] = int32(i)
+		}
+		for step := 0; step < 4000; step++ {
+			switch op := rng.Intn(4); {
+			case op == 0 && len(free) > 0: // push
+				i := rng.Intn(len(free))
+				id := free[i]
+				free[i] = free[len(free)-1]
+				free = free[:len(free)-1]
+				p := int32(rng.Intn(maxPrio + 1))
+				q.Push(id, p)
+				ref.prio[id] = p
+				queued = append(queued, id)
+			case op == 1 && len(queued) > 0: // dec
+				id := queued[rng.Intn(len(queued))]
+				if q.Priority(id) > 0 {
+					q.Dec(id)
+					ref.prio[id]--
+				}
+			case len(queued) > 0: // pop
+				id, p := q.PopMin()
+				wantID, wantP := ref.popMin()
+				if id != wantID || p != wantP {
+					t.Fatalf("seed %d step %d: PopMin = (%d,%d), want (%d,%d)", seed, step, id, p, wantID, wantP)
+				}
+				for i, qid := range queued {
+					if qid == id {
+						queued[i] = queued[len(queued)-1]
+						queued = queued[:len(queued)-1]
+						break
+					}
+				}
+				free = append(free, id)
+			}
+		}
+		if q.Len() != len(ref.prio) {
+			t.Fatalf("seed %d: Len = %d, want %d", seed, q.Len(), len(ref.prio))
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ensemfdet/internal/density"
+	"ensemfdet/internal/fdet"
+	"ensemfdet/internal/sampling"
+)
+
+// TestBucketHeapEquivalenceAcrossSamplersAndSeeds is the ensemble-level half
+// of the bucket-peeler contract: for every sampling method and several
+// seeds, an ensemble run on the O(E) bucket engine must produce votes, kˆ,
+// and per-block score curves byte-identical to the same run pinned to the
+// O(E log V) heap engine. Unit weights (AvgDegree) select the bucket engine;
+// fdet.Options.ForceHeap pins the heap on the identical configuration.
+func TestBucketHeapEquivalenceAcrossSamplersAndSeeds(t *testing.T) {
+	g, _ := plantedGraph(55, 260, 240, 700, 2, 7, 7)
+	for _, m := range sampling.All() {
+		for _, seed := range []int64{2, 11, 23} {
+			cfg := Config{
+				Method:        m,
+				NumSamples:    8,
+				SampleRatio:   0.3,
+				Seed:          seed,
+				Parallelism:   4,
+				CollectScores: true,
+				FDet:          fdet.Options{Metric: density.AvgDegree{}},
+			}
+			bucket, err := Run(g, cfg)
+			if err != nil {
+				t.Fatalf("%s seed %d (bucket): %v", m.Name(), seed, err)
+			}
+			cfg.FDet.ForceHeap = true
+			heap, err := Run(g, cfg)
+			if err != nil {
+				t.Fatalf("%s seed %d (heap): %v", m.Name(), seed, err)
+			}
+			if !reflect.DeepEqual(bucket.Votes, heap.Votes) {
+				t.Errorf("%s seed %d: votes differ between bucket and heap engines", m.Name(), seed)
+			}
+			if !reflect.DeepEqual(bucket.KHats, heap.KHats) {
+				t.Errorf("%s seed %d: kˆ differs between bucket and heap engines", m.Name(), seed)
+			}
+			if len(bucket.BlockScores) != len(heap.BlockScores) {
+				t.Fatalf("%s seed %d: score spine length differs", m.Name(), seed)
+			}
+			for i := range bucket.BlockScores {
+				bs, hs := bucket.BlockScores[i], heap.BlockScores[i]
+				if len(bs) != len(hs) {
+					t.Fatalf("%s seed %d: sample %d curve length differs", m.Name(), seed, i)
+				}
+				for j := range bs {
+					if math.Float64bits(bs[j]) != math.Float64bits(hs[j]) {
+						t.Errorf("%s seed %d: sample %d block %d score differs bitwise", m.Name(), seed, i, j)
+					}
+				}
+			}
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ensemfdet/internal/bipartite"
@@ -234,6 +235,14 @@ type Output struct {
 	// fields above, Rec is always freshly allocated and safe to retain — it
 	// is the incremental base the serving layer keeps across requests.
 	Rec *Record
+	// PeelRounds is the total number of peeling rounds (detected blocks,
+	// pre-truncation) executed across the run's samples — the unit the
+	// peeler's O(kˆ|E|) cost scales with. Samples reused by RunIncremental
+	// contribute nothing, so the count measures work actually done, not
+	// work implied by the ensemble size. Workers accumulate it atomically;
+	// integer addition commutes, so the value is deterministic for a fixed
+	// Config.
+	PeelRounds int64
 }
 
 // TotalWork returns the summed serial duration of all samples.
@@ -421,6 +430,7 @@ func (env *runEnv) execute(indices []int) error {
 			}
 		}
 		out.KHats[i] = res.TruncatedAt
+		atomic.AddInt64(&out.PeelRounds, int64(len(res.Scores)))
 		if cfg.CollectScores {
 			// res.Scores aliases the worker's scratch; the retained curve
 			// needs its own copy (CollectScores is the off-hot-path mode).

@@ -52,6 +52,12 @@ type Options struct {
 	// graph) before truncating. Used by tests to validate the early-stop
 	// heuristic against the exhaustive result.
 	DisableEarlyStop bool
+	// ForceHeap pins deletion to the float-priority index heap even when
+	// every merchant weight is 1 and the O(E) bucket queue would apply. The
+	// result is byte-identical either way — both engines delete in the same
+	// (priority, id) total order — so this exists purely for the
+	// bucket-vs-heap equivalence tests and side-by-side benchmarks.
+	ForceHeap bool
 }
 
 // DefaultMaxBlocks bounds the number of peeling rounds. The paper observes
@@ -165,7 +171,7 @@ func (s *Scratch) Detect(g *bipartite.Graph, opts Options) Result {
 		maxBlocks = opts.FixedK
 	}
 
-	s.p.reset(g, metric, opts.MerchantWeights)
+	s.p.reset(g, metric, opts.MerchantWeights, opts.ForceHeap)
 	refs := s.refs[:0]
 	scores := s.scoreBuf[:0]
 	for len(refs) < maxBlocks && s.p.aliveEdges > 0 {
@@ -251,7 +257,7 @@ func Peel(g *bipartite.Graph, metric density.Metric) (Block, bool) {
 		metric = density.Default()
 	}
 	var p peeler
-	p.reset(g, metric, nil)
+	p.reset(g, metric, nil, false)
 	ref, ok := p.peelOnce()
 	if !ok {
 		return Block{}, false

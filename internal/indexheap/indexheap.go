@@ -1,16 +1,30 @@
-// Package indexheap provides an indexed binary min-heap over the node ids of
-// a graph, supporting O(log n) decrease/increase-key by id. It is the
+// Package indexheap provides an indexed min-heap over the node ids of a
+// graph, supporting O(log n) decrease/increase-key by id. It is the
 // "minimal heap" the paper relies on for FDET's O(kˆ|E| log(|U|+|V|)) bound
 // (§IV-B): greedy peeling repeatedly pops the minimum-priority node and
 // lowers the priorities of its neighbours.
+//
+// The heap is 4-ary with (priority, id) stored inline in the heap slots: a
+// sift compares against up to four children that share one or two cache
+// lines, and never chases a pos/prio indirection per comparison the way the
+// classic ids[]+prio[] layout does. Sifts move slots hole-style (one write
+// per level instead of a swap's two). Ties are broken toward the lower id,
+// making the pop sequence a total order on (priority, id) — the property
+// the FDET peeler's determinism contract is built on.
 package indexheap
+
+// slot is one heap entry. Keeping the priority next to the id means a
+// comparison touches only the heap array.
+type slot struct {
+	prio float64
+	id   int32
+}
 
 // Heap is an indexed min-heap of float64 priorities keyed by dense int ids in
 // [0, capacity). Construct with New, or Reset a zero value.
 type Heap struct {
-	ids   []int32 // heap array of ids
-	pos   []int32 // pos[id] = index in ids, or -1 if absent
-	prio  []float64
+	slots []slot
+	pos   []int32 // pos[id] = index in slots, or -1 if absent
 	count int
 }
 
@@ -30,12 +44,10 @@ func New(capacity int) *Heap {
 func (h *Heap) Reset(capacity int) {
 	if cap(h.pos) < capacity {
 		h.pos = make([]int32, capacity)
-		h.prio = make([]float64, capacity)
-		h.ids = make([]int32, 0, capacity)
+		h.slots = make([]slot, 0, capacity)
 	}
 	h.pos = h.pos[:capacity]
-	h.prio = h.prio[:capacity]
-	h.ids = h.ids[:0]
+	h.slots = h.slots[:0]
 	h.count = 0
 	for i := range h.pos {
 		h.pos[i] = absent
@@ -49,37 +61,55 @@ func (h *Heap) Len() int { return h.count }
 func (h *Heap) Contains(id int) bool { return h.pos[id] != absent }
 
 // Priority returns the current priority of id. It must be in the heap.
-func (h *Heap) Priority(id int) float64 { return h.prio[id] }
+func (h *Heap) Priority(id int) float64 { return h.slots[h.pos[id]].prio }
 
 // Push inserts id with the given priority. It panics if id is already
 // present; use Update to change an existing priority.
 func (h *Heap) Push(id int, priority float64) {
-	if h.pos[id] != absent {
-		panic("indexheap: Push of id already in heap")
-	}
-	h.prio[id] = priority
-	h.ids = append(h.ids, int32(id))
-	h.pos[id] = int32(h.count)
-	h.count++
+	h.PushUnordered(id, priority)
 	h.up(h.count - 1)
 }
 
+// PushUnordered appends id without restoring heap order. It exists for bulk
+// builds: n PushUnordered calls followed by one Heapify cost O(n) instead of
+// the O(n log n) of n ordered Pushes. The heap must not be read between the
+// first PushUnordered and the Heapify.
+func (h *Heap) PushUnordered(id int, priority float64) {
+	if h.pos[id] != absent {
+		panic("indexheap: Push of id already in heap")
+	}
+	h.pos[id] = int32(h.count)
+	h.slots = append(h.slots, slot{prio: priority, id: int32(id)})
+	h.count++
+}
+
+// Heapify restores heap order after a bulk of PushUnordered calls using
+// Floyd's bottom-up construction. The resulting pop sequence is identical to
+// that of ordered Pushes: pops follow the (priority, id) total order, which
+// does not depend on the heap's internal layout.
+func (h *Heap) Heapify() {
+	for i := (h.count - 2) >> 2; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
 // Pop removes and returns the id with minimum priority and that priority.
-// Ties are broken arbitrarily but deterministically. It panics on an empty
-// heap.
+// Ties are broken toward the lower id. It panics on an empty heap.
 func (h *Heap) Pop() (id int, priority float64) {
 	if h.count == 0 {
 		panic("indexheap: Pop from empty heap")
 	}
-	top := h.ids[0]
-	h.swap(0, h.count-1)
-	h.ids = h.ids[:h.count-1]
+	top := h.slots[0]
 	h.count--
-	h.pos[top] = absent
+	last := h.slots[h.count]
+	h.slots = h.slots[:h.count]
+	h.pos[top.id] = absent
 	if h.count > 0 {
+		h.slots[0] = last
+		h.pos[last.id] = 0
 		h.down(0)
 	}
-	return int(top), h.prio[top]
+	return int(top.id), top.prio
 }
 
 // Peek returns the minimum id and priority without removing it.
@@ -87,7 +117,7 @@ func (h *Heap) Peek() (id int, priority float64) {
 	if h.count == 0 {
 		panic("indexheap: Peek of empty heap")
 	}
-	return int(h.ids[0]), h.prio[h.ids[0]]
+	return int(h.slots[0].id), h.slots[0].prio
 }
 
 // Update changes the priority of id, restoring heap order in O(log n).
@@ -97,8 +127,8 @@ func (h *Heap) Update(id int, priority float64) {
 	if i == absent {
 		panic("indexheap: Update of id not in heap")
 	}
-	old := h.prio[id]
-	h.prio[id] = priority
+	old := h.slots[i].prio
+	h.slots[i].prio = priority
 	switch {
 	case priority < old:
 		h.up(int(i))
@@ -107,67 +137,111 @@ func (h *Heap) Update(id int, priority float64) {
 	}
 }
 
-// Add increments the priority of id by delta (delta may be negative).
+// Add increments the priority of id by delta (delta may be negative). It
+// panics if id is not in the heap.
 func (h *Heap) Add(id int, delta float64) {
-	h.Update(id, h.prio[id]+delta)
+	i := h.pos[id]
+	if i == absent {
+		panic("indexheap: Add of id not in heap")
+	}
+	h.addAt(int(i), delta)
+}
+
+// AddIfPresent increments the priority of id by delta when id is in the
+// heap, fusing the peeler's Contains+Add pair into a single pos lookup. It
+// reports whether id was present.
+func (h *Heap) AddIfPresent(id int, delta float64) bool {
+	i := h.pos[id]
+	if i == absent {
+		return false
+	}
+	h.addAt(int(i), delta)
+	return true
+}
+
+func (h *Heap) addAt(i int, delta float64) {
+	h.slots[i].prio += delta
+	switch {
+	case delta < 0:
+		h.up(i)
+	case delta > 0:
+		h.down(i)
+	}
 }
 
 // Remove deletes id from the heap regardless of its position.
 func (h *Heap) Remove(id int) {
-	i := h.pos[id]
-	if i == absent {
+	i := int(h.pos[id])
+	if i == int(absent) {
 		panic("indexheap: Remove of id not in heap")
 	}
-	h.swap(int(i), h.count-1)
-	h.ids = h.ids[:h.count-1]
 	h.count--
+	last := h.slots[h.count]
+	h.slots = h.slots[:h.count]
 	h.pos[id] = absent
-	if int(i) < h.count {
-		h.down(int(i))
-		h.up(int(i))
+	if i < h.count {
+		h.slots[i] = last
+		h.pos[last.id] = int32(i)
+		h.down(i)
+		h.up(i)
 	}
 }
 
-func (h *Heap) less(i, j int) bool {
-	pi, pj := h.prio[h.ids[i]], h.prio[h.ids[j]]
-	if pi != pj {
-		return pi < pj
+// less orders slots by (priority, id); the id tie-break keeps peeling
+// deterministic across runs and across queue implementations.
+func less(a, b slot) bool {
+	if a.prio != b.prio {
+		return a.prio < b.prio
 	}
-	// Deterministic tie-break on id keeps peeling reproducible across runs.
-	return h.ids[i] < h.ids[j]
+	return a.id < b.id
 }
 
-func (h *Heap) swap(i, j int) {
-	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
-	h.pos[h.ids[i]] = int32(i)
-	h.pos[h.ids[j]] = int32(j)
-}
-
+// up sifts the slot at i toward the root, hole-style: the moving slot is
+// held in a register while parents shift down, costing one slot write and
+// one pos write per level.
 func (h *Heap) up(i int) {
+	s := h.slots[i]
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
+		parent := (i - 1) >> 2
+		ps := h.slots[parent]
+		if !less(s, ps) {
 			break
 		}
-		h.swap(i, parent)
+		h.slots[i] = ps
+		h.pos[ps.id] = int32(i)
 		i = parent
 	}
+	h.slots[i] = s
+	h.pos[s.id] = int32(i)
 }
 
+// down sifts the slot at i toward the leaves. The four children occupy
+// adjacent slots, so the min-child scan is a sequential read.
 func (h *Heap) down(i int) {
+	s := h.slots[i]
+	n := h.count
 	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < h.count && h.less(l, smallest) {
-			smallest = l
+		c := i<<2 + 1
+		if c >= n {
+			break
 		}
-		if r < h.count && h.less(r, smallest) {
-			smallest = r
+		end := c + 4
+		if end > n {
+			end = n
 		}
-		if smallest == i {
-			return
+		m, ms := c, h.slots[c]
+		for j := c + 1; j < end; j++ {
+			if js := h.slots[j]; less(js, ms) {
+				m, ms = j, js
+			}
 		}
-		h.swap(i, smallest)
-		i = smallest
+		if !less(ms, s) {
+			break
+		}
+		h.slots[i] = ms
+		h.pos[ms.id] = int32(i)
+		i = m
 	}
+	h.slots[i] = s
+	h.pos[s.id] = int32(i)
 }

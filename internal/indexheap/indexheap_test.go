@@ -205,6 +205,54 @@ func TestResetReuse(t *testing.T) {
 	}
 }
 
+func TestBulkBuildMatchesOrderedPushes(t *testing.T) {
+	// PushUnordered+Heapify must drain in the same (priority, id) order as
+	// ordered Pushes — the peeler's determinism contract.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		prios := make([]float64, n)
+		for i := range prios {
+			prios[i] = float64(rng.Intn(8)) // coarse: force priority ties
+		}
+		a, b := New(n), New(n)
+		for i, p := range prios {
+			a.Push(i, p)
+			b.PushUnordered(i, p)
+		}
+		b.Heapify()
+		for a.Len() > 0 {
+			ia, pa := a.Pop()
+			ib, pb := b.Pop()
+			if ia != ib || pa != pb {
+				return false
+			}
+		}
+		return b.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddIfPresent(t *testing.T) {
+	h := New(3)
+	h.Push(0, 5)
+	h.Push(1, 6)
+	if !h.AddIfPresent(1, -4) {
+		t.Fatal("AddIfPresent(queued id) = false")
+	}
+	if id, p := h.Peek(); id != 1 || p != 2 {
+		t.Fatalf("Peek = (%d,%g), want (1,2)", id, p)
+	}
+	if h.AddIfPresent(2, 1) {
+		t.Fatal("AddIfPresent(absent id) = true")
+	}
+	if h.Contains(2) {
+		t.Fatal("Contains(absent id) = true")
+	}
+}
+
 func TestZeroValueReset(t *testing.T) {
 	var h Heap
 	h.Reset(3)

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"ensemfdet/internal/bipartite"
+	"ensemfdet/internal/stream"
+)
+
+// blockingJournal parks every append until released, letting a test hold
+// ingest slots occupied for as long as it likes.
+type blockingJournal struct {
+	entered chan struct{} // signaled once per append that has started
+	release chan struct{} // closed to let all parked appends finish
+}
+
+func (j *blockingJournal) AppendEdges(uint64, []bipartite.Edge) error {
+	j.entered <- struct{}{}
+	<-j.release
+	return nil
+}
+
+func (j *blockingJournal) RetireEdges(uint64, []bipartite.Edge, stream.WindowMark) error {
+	return nil
+}
+
+// TestIngestAdmissionControl pins the admission contract at the engine
+// level: with IngestQueue slots all held by in-flight batches, the next
+// Ingest is shed immediately with ErrOverloaded — it never blocks and never
+// touches the store — and the shed/queue-depth counters say so. Once a slot
+// frees, ingest admits again.
+func TestIngestAdmissionControl(t *testing.T) {
+	const bound = 2
+	j := &blockingJournal{entered: make(chan struct{}, bound), release: make(chan struct{})}
+	g := stream.New()
+	g.SetJournal(j)
+	e := NewEngine(g, Options{IngestQueue: bound})
+
+	var wg sync.WaitGroup
+	for i := 0; i < bound; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := e.Ingest([]bipartite.Edge{{U: uint32(i), V: uint32(i)}}); err != nil {
+				t.Errorf("parked ingest %d: %v", i, err)
+			}
+		}()
+	}
+	for i := 0; i < bound; i++ {
+		<-j.entered // both batches are inside the journal, holding their slots
+	}
+
+	if st := e.Stats().IngestStats; st.QueueDepth != bound || st.QueueBound != bound {
+		t.Errorf("saturated queue: depth=%d bound=%d, want %d/%d", st.QueueDepth, st.QueueBound, bound, bound)
+	}
+	_, err := e.Ingest([]bipartite.Edge{{U: 9, V: 9}})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("ingest into full queue: err=%v, want ErrOverloaded", err)
+	}
+	if shed := e.Stats().IngestStats.Shed; shed != 1 {
+		t.Errorf("shed counter = %d, want 1", shed)
+	}
+
+	close(j.release)
+	wg.Wait()
+	if _, err := e.Ingest([]bipartite.Edge{{U: 10, V: 10}}); err != nil {
+		t.Fatalf("ingest after drain: %v", err)
+	}
+	st := e.Stats().IngestStats
+	if st.QueueDepth != 0 {
+		t.Errorf("drained queue depth = %d, want 0", st.QueueDepth)
+	}
+	if st.Shed != 1 {
+		t.Errorf("shed counter after drain = %d, want 1 (shed batches stay shed)", st.Shed)
+	}
+}
+
+// TestIngestUnboundedByDefault pins that the zero Options keep the
+// pre-admission-control behavior: no queue, nothing shed.
+func TestIngestUnboundedByDefault(t *testing.T) {
+	e := NewEngine(stream.New(), Options{})
+	for i := 0; i < 64; i++ {
+		if _, err := e.Ingest([]bipartite.Edge{{U: uint32(i), V: 0}}); err != nil {
+			t.Fatalf("ingest %d: %v", i, err)
+		}
+	}
+	st := e.Stats().IngestStats
+	if st.Shed != 0 || st.QueueBound != 0 || st.QueueDepth != 0 {
+		t.Errorf("unbounded engine reported shed=%d bound=%d depth=%d, want all zero",
+			st.Shed, st.QueueBound, st.QueueDepth)
+	}
+}
+
+// TestIngestOverloadedIs429 pins the HTTP face of admission control: a shed
+// batch is 429 Too Many Requests with a Retry-After hint and an
+// "overloaded" flag, so clients can distinguish backpressure (back off and
+// retry) from a broken request (400) or a degraded store (503).
+func TestIngestOverloadedIs429(t *testing.T) {
+	j := &blockingJournal{entered: make(chan struct{}, 1), release: make(chan struct{})}
+	g := stream.New()
+	g.SetJournal(j)
+	srv := httptest.NewServer(NewHandler(NewEngine(g, Options{IngestQueue: 1})))
+	t.Cleanup(srv.Close)
+
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(srv.URL+"/v1/edges", "application/json",
+			bytes.NewReader([]byte(`{"edges":[[1,2]]}`)))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	<-j.entered // the first batch holds the only slot inside the journal
+
+	resp, err := http.Post(srv.URL+"/v1/edges", "application/json",
+		bytes.NewReader([]byte(`{"edges":[[3,4]]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed ingest: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 response missing Retry-After header")
+	}
+	var body struct {
+		Overloaded bool `json:"overloaded"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !body.Overloaded {
+		t.Error(`429 body missing "overloaded": true`)
+	}
+
+	close(j.release)
+	if err := <-done; err != nil {
+		t.Fatalf("parked ingest: %v", err)
+	}
+}

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ensemfdet/internal/bipartite"
+	"ensemfdet/internal/core"
+	"ensemfdet/internal/density"
+	"ensemfdet/internal/fdet"
+	"ensemfdet/internal/sampling"
+	"ensemfdet/internal/stream"
+)
+
+// TestBucketHeapEquivalenceAcrossShardCounts closes the shard dimension of
+// the bucket-peeler contract: snapshots built through 1-, 4-, and 16-shard
+// ingest (batched, so the incremental build path runs) are detected on with
+// both peeling engines, for every sampler; votes and kˆ must be
+// byte-identical bucket-vs-heap at every shard count, and identical across
+// shard counts.
+func TestBucketHeapEquivalenceAcrossShardCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	edges := make([]bipartite.Edge, 0, 2300)
+	for i := 0; i < 2000; i++ {
+		edges = append(edges, bipartite.Edge{U: uint32(rng.Intn(350)), V: uint32(rng.Intn(300))})
+	}
+	for u := 0; u < 20; u++ {
+		for v := 0; v < 10; v++ {
+			edges = append(edges, bipartite.Edge{U: uint32(350 + u), V: uint32(300 + v)})
+		}
+	}
+
+	for _, m := range sampling.All() {
+		var ref *core.Output
+		for _, shards := range []int{1, 4, 16} {
+			sg := stream.NewSharded(shards)
+			for off := 0; off < len(edges); off += 131 {
+				end := off + 131
+				if end > len(edges) {
+					end = len(edges)
+				}
+				sg.Append(edges[off:end])
+				sg.Snapshot() // force the delta-build chain between batches
+			}
+			g, _ := sg.Snapshot()
+
+			cfg := core.Config{
+				Method:      m,
+				NumSamples:  8,
+				SampleRatio: 0.25,
+				Seed:        13,
+				Parallelism: 4,
+				FDet:        fdet.Options{Metric: density.AvgDegree{}},
+			}
+			bucket, err := core.Run(g, cfg)
+			if err != nil {
+				t.Fatalf("%s shards=%d (bucket): %v", m.Name(), shards, err)
+			}
+			cfg.FDet.ForceHeap = true
+			heap, err := core.Run(g, cfg)
+			if err != nil {
+				t.Fatalf("%s shards=%d (heap): %v", m.Name(), shards, err)
+			}
+			if !reflect.DeepEqual(bucket.Votes, heap.Votes) {
+				t.Errorf("%s shards=%d: votes differ between bucket and heap engines", m.Name(), shards)
+			}
+			if !reflect.DeepEqual(bucket.KHats, heap.KHats) {
+				t.Errorf("%s shards=%d: kˆ differs between bucket and heap engines", m.Name(), shards)
+			}
+			if ref == nil {
+				ref = bucket
+				continue
+			}
+			if !reflect.DeepEqual(bucket.Votes, ref.Votes) {
+				t.Errorf("%s shards=%d: votes differ from single-shard reference", m.Name(), shards)
+			}
+		}
+	}
+}

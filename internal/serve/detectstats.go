@@ -27,6 +27,11 @@ type DetectStats struct {
 	// (per-bucket counts are exported on /metrics only).
 	LatencyCount      uint64  `json:"latency_count"`
 	LatencySumSeconds float64 `json:"latency_sum_seconds"`
+	// PeelRounds totals the peeling rounds executed by completed runs —
+	// the inner-loop work unit of the detect path. Divided by
+	// IncrementalRuns+ColdRuns it gives peel-rounds-per-detect; reused
+	// incremental samples and cache hits contribute nothing.
+	PeelRounds uint64 `json:"peel_rounds"`
 }
 
 func (e *Engine) detectStats() DetectStats {
@@ -39,6 +44,7 @@ func (e *Engine) detectStats() DetectStats {
 		SamplesRerun:         e.samplesRerun.Load(),
 		LatencyCount:         count,
 		LatencySumSeconds:    sum,
+		PeelRounds:           e.peelRounds.Load(),
 	}
 }
 

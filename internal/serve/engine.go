@@ -68,6 +68,12 @@ func (p Params) normalize() Params {
 // can map them to client errors (HTTP 400) via errors.Is.
 var ErrInvalidParams = errors.New("invalid detection parameters")
 
+// ErrOverloaded tags batches shed by the bounded ingest queue
+// (Options.IngestQueue) so transport layers can map them to 429 +
+// Retry-After via errors.Is. A shed batch was never appended; retrying it
+// later is safe (and dedup makes even an accidental double-send safe).
+var ErrOverloaded = errors.New("ingest queue full")
+
 // Validate checks the sampler name and numeric ranges without touching any
 // graph — cheap enough to run before a request body is even fully trusted.
 // It inspects the raw (pre-normalization) values so that a negative, huge,
@@ -125,6 +131,14 @@ type Options struct {
 	// disables incremental detection entirely). Past the threshold most
 	// samples are dirty anyway and classification is pure overhead.
 	IncrementalMaxDeltaRatio float64
+	// IngestQueue bounds how many ingest batches may be inside Ingest at
+	// once (validating, appending, journaling). When the bound is reached
+	// further batches are shed immediately with ErrOverloaded — surfaced by
+	// the HTTP layer as 429 + Retry-After — so overload degrades into
+	// explicit backpressure instead of ballooning every caller's latency
+	// behind the shard and WAL locks. 0 means unbounded (no admission
+	// control), preserving the pre-queue behavior.
+	IngestQueue int
 }
 
 func (o Options) maxConcurrent() int {
@@ -270,6 +284,17 @@ type Engine struct {
 	ingestEdges   atomic.Uint64 // edges actually added (post-dedup)
 	ingestDups    atomic.Uint64
 
+	// ingestSlots is the bounded admission queue (nil when Options.IngestQueue
+	// is 0): a batch holds one slot for its whole stay inside Ingest, and a
+	// batch that cannot get a slot without blocking is shed.
+	ingestSlots chan struct{}
+	ingestShed  atomic.Uint64
+
+	// peelRounds totals the peeling rounds executed by completed ensemble
+	// runs (cache hits and reused incremental samples add nothing): the
+	// detect-path work metric the bucket peeler optimizes.
+	peelRounds atomic.Uint64
+
 	// win is the source's windowing seam (nil when the Snapshotter cannot
 	// retire). retiring single-flights the post-ingest count-policy kicks;
 	// retireWG lets Close join an in-flight kick before tearing down the
@@ -302,6 +327,9 @@ func NewEngine(src Snapshotter, opts Options) *Engine {
 	}
 	e.win, _ = src.(Windower)
 	e.delta, _ = src.(Deltaer)
+	if opts.IngestQueue > 0 {
+		e.ingestSlots = make(chan struct{}, opts.IngestQueue)
+	}
 	return e
 }
 
@@ -576,6 +604,7 @@ func (e *Engine) run(key cacheKey, ent *entry, snap *bipartite.Graph, p Params, 
 	}
 	ent.votes = &out.Votes
 	e.runs.Add(1)
+	e.peelRounds.Add(uint64(out.PeelRounds))
 	e.publishBase(key, ent, out)
 }
 
@@ -810,6 +839,12 @@ type IngestStats struct {
 	Batches    uint64 `json:"batches"`
 	Added      uint64 `json:"added"`
 	Duplicates uint64 `json:"duplicates"`
+	// Shed counts batches refused by the bounded admission queue (HTTP
+	// 429); QueueDepth/QueueBound describe the queue at sampling time.
+	// QueueBound 0 means admission control is off.
+	Shed       uint64 `json:"shed"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueBound int    `json:"queue_bound"`
 }
 
 // Stats returns current counters.
@@ -829,6 +864,9 @@ func (e *Engine) Stats() Stats {
 			Batches:    e.ingestBatches.Load(),
 			Added:      e.ingestEdges.Load(),
 			Duplicates: e.ingestDups.Load(),
+			Shed:       e.ingestShed.Load(),
+			QueueDepth: len(e.ingestSlots),
+			QueueBound: cap(e.ingestSlots),
 		},
 	}
 	if ss, ok := e.src.(interface{ ShardSizes() []stream.ShardSize }); ok {
@@ -920,6 +958,20 @@ func (e *Engine) Source() Snapshotter { return e.src }
 // graph and vote memory scale with the largest id, and one edge naming id
 // 2^32-2 would commit the next snapshot to multi-gigabyte allocations.
 func (e *Engine) Ingest(edges []bipartite.Edge) (stream.AppendResult, error) {
+	// Admission control first: under overload the cheapest thing to do with
+	// a batch is refuse it before spending any validation or lock time on
+	// it. The slot is held for the whole append (including the WAL write
+	// behind the stream's journal hook), so the queue bound is a bound on
+	// in-flight ingest work, and len(ingestSlots) is an honest depth gauge.
+	if e.ingestSlots != nil {
+		select {
+		case e.ingestSlots <- struct{}{}:
+			defer func() { <-e.ingestSlots }()
+		default:
+			e.ingestShed.Add(1)
+			return stream.AppendResult{}, fmt.Errorf("serve: %w", ErrOverloaded)
+		}
+	}
 	maxID := e.opts.maxNodeID()
 	for i, ed := range edges {
 		if ed.U > maxID || ed.V > maxID {

@@ -171,6 +171,9 @@ func writeError(w http.ResponseWriter, status int, err error) {
 //   - ErrFenced → 409 with "fenced": true. This node observed a higher
 //     failover epoch — it is a deposed primary and retrying against it can
 //     never succeed; the error body names the ruling epoch.
+//   - ErrOverloaded → 429 with Retry-After and "overloaded": true. The
+//     admission queue was full so the batch was shed before touching the
+//     store; backing off and retrying is the whole contract.
 //
 // Everything else falls through to the generic mapping.
 func writeIngestError(w http.ResponseWriter, err error) {
@@ -180,6 +183,9 @@ func writeIngestError(w http.ResponseWriter, err error) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": err.Error(), "degraded": true})
 	case errors.Is(err, persist.ErrFenced):
 		writeJSON(w, http.StatusConflict, map[string]any{"error": err.Error(), "fenced": true})
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{"error": err.Error(), "overloaded": true})
 	default:
 		writeError(w, statusFor(err), err)
 	}

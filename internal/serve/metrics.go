@@ -32,6 +32,8 @@ func handleMetrics(e *Engine, version string, w http.ResponseWriter, _ *http.Req
 	counter("ensemfdetd_ingest_batches_total", "Edge batches accepted by the ingest endpoint.", st.IngestStats.Batches)
 	counter("ensemfdetd_ingest_edges_total", "Edges added to the graph after deduplication.", st.IngestStats.Added)
 	counter("ensemfdetd_ingest_duplicates_total", "Ingested edges dropped as duplicates.", st.IngestStats.Duplicates)
+	counter("ensemfdetd_ingest_shed_total", "Ingest batches rejected with 429 because the admission queue was full.", st.IngestStats.Shed)
+	gauge("ensemfdetd_ingest_queue_depth", "Ingest batches currently holding an admission slot (0 when admission control is off).", int64(st.IngestStats.QueueDepth))
 
 	counter("ensemfdetd_cache_hits_total", "Detection requests answered from the vote cache.", st.CacheHits)
 	counter("ensemfdetd_cache_misses_total", "Detection requests that had to start an ensemble run.", st.CacheMisses)
@@ -44,6 +46,7 @@ func handleMetrics(e *Engine, version string, w http.ResponseWriter, _ *http.Req
 	counter("ensemfdetd_detect_incremental_fallbacks_total", "Runs that found a base and a small delta but could not prove reuse and went cold.", st.Detect.IncrementalFallbacks)
 	counter("ensemfdetd_detect_samples_reused_total", "Ensemble samples carried over from an incremental base without re-execution.", st.Detect.SamplesReused)
 	counter("ensemfdetd_detect_samples_rerun_total", "Ensemble samples executed (dirty samples of incremental runs plus all samples of cold runs).", st.Detect.SamplesRerun)
+	counter("ensemfdetd_detect_peel_rounds_total", "Peeling rounds executed across completed ensemble runs.", st.Detect.PeelRounds)
 
 	{
 		const h = "ensemfdetd_detect_seconds"

@@ -83,11 +83,18 @@ func TestMetricsEndpoint(t *testing.T) {
 		"ensemfdetd_graph_edges":                           9,
 		"ensemfdetd_snapshot_builds_total{kind=\"full\"}":  1,
 		"ensemfdetd_snapshot_builds_total{kind=\"delta\"}": 1,
+		"ensemfdetd_ingest_shed_total":                     0,
+		"ensemfdetd_ingest_queue_depth":                    0,
 	}
 	for series, want := range checks {
 		if got := metricValue(t, body, series); got != want {
 			t.Errorf("%s = %g, want %g", series, got, want)
 		}
+	}
+	// Peel rounds accumulate across the two completed runs; the exact count
+	// depends on the graph, but two runs of four samples must peel something.
+	if rounds := metricValue(t, body, "ensemfdetd_detect_peel_rounds_total"); rounds < 1 {
+		t.Errorf("ensemfdetd_detect_peel_rounds_total = %g, want >= 1", rounds)
 	}
 
 	// Per-shard gauges must cover every shard and sum to the edge count.
